@@ -1,0 +1,23 @@
+//! # smoke-apps
+//!
+//! Real-world applications expressed in lineage terms on top of the Smoke
+//! engine, reproducing the application studies of the paper (§6.5):
+//!
+//! * [`crossfilter`] — linked cross-filtered visualizations over the
+//!   Ontime-like dataset, with the `Lazy`, `BT` (backward-trace), `BT+FT`
+//!   (backward + forward trace) and partial-data-cube techniques;
+//! * [`profiling`] — data profiling: functional-dependency violation
+//!   detection and bipartite-graph construction with the `Smoke-CD`,
+//!   `Smoke-UG`, and `Metanome-UG` (simulated) techniques;
+//! * [`brushing`] — the linked-brushing interaction of the paper's Figure 1,
+//!   expressed as a backward query followed by a forward query.
+
+#![warn(missing_docs)]
+
+pub mod brushing;
+pub mod crossfilter;
+pub mod profiling;
+
+pub use brushing::LinkedViews;
+pub use crossfilter::{CrossfilterSession, CrossfilterTechnique};
+pub use profiling::{check_fd, FdViolationReport, ProfilingTechnique};

@@ -1,0 +1,27 @@
+//! Criterion bench for Figures 13-14: crossfilter interactions.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoke_apps::crossfilter::{CrossfilterSession, CrossfilterTechnique};
+use smoke_datagen::ontime::{view_dimensions, OntimeSpec};
+
+fn bench(c: &mut Criterion) {
+    let base = OntimeSpec { rows: 50_000, seed: 17 }.generate();
+    let dims = view_dimensions();
+    let mut group = c.benchmark_group("fig13_14_crossfilter");
+    group.sample_size(10);
+    for technique in [
+        CrossfilterTechnique::Lazy,
+        CrossfilterTechnique::BackwardTrace,
+        CrossfilterTechnique::BackwardForwardTrace,
+    ] {
+        let session = CrossfilterSession::build(base.clone(), &dims, technique).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("interaction", format!("{technique:?}")),
+            &session,
+            |b, s| b.iter(|| s.interact(3, 0).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Figure 5: group-by aggregation lineage capture.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoke_core::ops::groupby::{group_by, GroupByOptions};
+use smoke_core::microbenchmark_aggs;
+use smoke_datagen::zipf::{zipf_table, ZipfSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_groupby_capture");
+    group.sample_size(10);
+    let keys = vec!["z".to_string()];
+    let aggs = microbenchmark_aggs("v");
+    for groups in [100usize, 10_000] {
+        let table = zipf_table(&ZipfSpec { theta: 1.0, rows: 100_000, groups, seed: 42 });
+        for (name, opts) in [
+            ("baseline", GroupByOptions::baseline()),
+            ("smoke_inject", GroupByOptions::inject()),
+            ("smoke_defer", GroupByOptions::defer()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, groups), &table, |b, t| {
+                b.iter(|| group_by(t, &keys, &aggs, &opts).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 7: m:n join lineage capture.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoke_core::ops::join::{hash_join, JoinOptions};
+use smoke_datagen::zipf::{zipf_table_named, ZipfSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_mn_capture");
+    group.sample_size(10);
+    let left = zipf_table_named(&ZipfSpec { theta: 1.0, rows: 1_000, groups: 10, seed: 3 }, "zipf1");
+    let right = zipf_table_named(&ZipfSpec { theta: 1.0, rows: 20_000, groups: 100, seed: 4 }, "zipf2");
+    let k = vec!["z".to_string()];
+    for (name, opts) in [
+        ("smoke_inject", JoinOptions::inject().without_output()),
+        ("smoke_defer_forw", JoinOptions::defer_forward().without_output()),
+        ("smoke_defer", JoinOptions::defer().without_output()),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "10x20k"), &right, |b, r| {
+            b.iter(|| hash_join(&left, r, &k, &k, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

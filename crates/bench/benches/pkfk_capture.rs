@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 6: pk-fk join lineage capture.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoke_core::ops::join::{hash_join, JoinOptions};
+use smoke_datagen::zipf::{gids_table, zipf_table, ZipfSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_pkfk_capture");
+    group.sample_size(10);
+    for groups in [100usize, 10_000] {
+        let left = gids_table(groups);
+        let right = zipf_table(&ZipfSpec { theta: 1.0, rows: 200_000, groups, seed: 13 });
+        let lk = vec!["id".to_string()];
+        let rk = vec!["z".to_string()];
+        for (name, opts) in [
+            ("baseline", JoinOptions::baseline()),
+            ("smoke_inject", JoinOptions::inject()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, groups), &groups, |b, _| {
+                b.iter(|| hash_join(&left, &right, &lk, &rk, &opts).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 15: FD-violation profiling.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoke_apps::profiling::{check_fd, ProfilingTechnique};
+use smoke_datagen::physician::{paper_fds, PhysicianSpec};
+
+fn bench(c: &mut Criterion) {
+    let table = PhysicianSpec { rows: 30_000, practices: 1_200, violation_rate: 0.02, seed: 23 }.generate();
+    let mut group = c.benchmark_group("fig15_profiling");
+    group.sample_size(10);
+    let fd = &paper_fds()[1]; // zip -> state
+    for (name, technique) in [
+        ("metanome_ug", ProfilingTechnique::MetanomeUg),
+        ("smoke_ug", ProfilingTechnique::SmokeUg),
+        ("smoke_cd", ProfilingTechnique::SmokeCd),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, &fd.lhs), &table, |b, t| {
+            b.iter(|| check_fd(t, fd, technique).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

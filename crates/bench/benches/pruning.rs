@@ -1,0 +1,46 @@
+//! Criterion bench for Figures 22-23: instrumentation pruning and selection
+//! push-down.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoke_core::{CaptureConfig, DirectionFilter, Executor, Expr, WorkloadOptions};
+use smoke_datagen::tpch::TpchSpec;
+use smoke_datagen::tpch_queries::{q1, q3};
+
+fn bench(c: &mut Criterion) {
+    let db = TpchSpec { scale_factor: 0.002, seed: 7 }.generate();
+    let mut group = c.benchmark_group("fig22_23_pruning_pushdown");
+    group.sample_size(10);
+
+    let q3_plan = q3();
+    for (name, cfg) in [
+        ("q3_no_capture", CaptureConfig::baseline()),
+        ("q3_all_tables", CaptureConfig::inject()),
+        (
+            "q3_only_lineitem",
+            CaptureConfig::inject()
+                .default_directions(DirectionFilter::None)
+                .prune("lineitem", DirectionFilter::Both),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("fig22", name), &q3_plan, |b, p| {
+            b.iter(|| Executor::with_config(cfg.clone()).execute(p, &db).unwrap())
+        });
+    }
+
+    let q1_plan = q1();
+    let pushdown = CaptureConfig::inject().with_workload(WorkloadOptions {
+        selection_pushdown: Some(Expr::col("l_tax").lt(Expr::lit(0.02))),
+        ..Default::default()
+    });
+    for (name, cfg) in [
+        ("q1_inject", CaptureConfig::inject()),
+        ("q1_selection_pushdown", pushdown),
+    ] {
+        group.bench_with_input(BenchmarkId::new("fig23", name), &q1_plan, |b, p| {
+            b.iter(|| Executor::with_config(cfg.clone()).execute(p, &db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

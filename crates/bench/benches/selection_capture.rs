@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 21: selection lineage capture.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoke_core::ops::select::{select, SelectOptions};
+use smoke_core::Expr;
+use smoke_datagen::zipf::{zipf_table, ZipfSpec};
+
+fn bench(c: &mut Criterion) {
+    let table = zipf_table(&ZipfSpec { theta: 1.0, rows: 200_000, groups: 100, seed: 8 });
+    let mut group = c.benchmark_group("fig21_selection_capture");
+    group.sample_size(10);
+    for sel in [0.1f64, 0.5] {
+        let pred = Expr::col("v").lt(Expr::lit(100.0 * sel));
+        for (name, opts) in [
+            ("baseline", SelectOptions::baseline()),
+            ("smoke_inject", SelectOptions::inject()),
+            ("smoke_inject_ec", SelectOptions::inject_with_estimate(sel)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, sel.to_string()), &table, |b, t| {
+                b.iter(|| select(t, &pred, &opts).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for Figures 10-12: workload-aware optimizations.
+use criterion::{criterion_group, criterion_main, Criterion};
+use smoke_bench::{tpch_exp, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_12_workload_opts");
+    group.sample_size(10);
+    let scale = Scale { factor: 0.3, runs: 1, warmup: 0 };
+    group.bench_function("fig10_data_skipping_suite", |b| {
+        b.iter(|| tpch_exp::fig10(&scale))
+    });
+    group.bench_function("fig11_12_agg_pushdown_suite", |b| {
+        b.iter(|| tpch_exp::fig11_12(&scale))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

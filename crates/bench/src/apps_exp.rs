@@ -1,0 +1,155 @@
+//! Application experiments: crossfilter (Figures 13 and 14) and data
+//! profiling (Figure 15).
+
+use smoke_apps::crossfilter::{CrossfilterSession, CrossfilterTechnique};
+use smoke_apps::profiling::{check_all_fds, ProfilingTechnique};
+use smoke_datagen::ontime::{view_dimensions, OntimeSpec};
+use smoke_datagen::physician::{paper_fds, PhysicianSpec};
+use smoke_storage::Rid;
+
+use crate::{ms, time, ExpRow, Scale};
+
+/// Per-view interaction sample size used to keep the harness fast; the
+/// cumulative numbers of Figure 13 are extrapolated from the per-interaction
+/// means, as the distribution across bars of one view is homogeneous for
+/// every technique.
+const INTERACTION_SAMPLE: usize = 12;
+
+/// Figures 13 & 14: crossfilter build cost, per-interaction latency per view,
+/// and extrapolated cumulative latency per technique.
+pub fn fig13_14(scale: &Scale) -> Vec<ExpRow> {
+    let base = OntimeSpec {
+        rows: scale.size(150_000, 5_000),
+        seed: 17,
+    }
+    .generate();
+    let dims = view_dimensions();
+    let mut rows = Vec::new();
+
+    for technique in [
+        CrossfilterTechnique::Lazy,
+        CrossfilterTechnique::BackwardTrace,
+        CrossfilterTechnique::BackwardForwardTrace,
+        CrossfilterTechnique::PartialCube,
+    ] {
+        let name = technique_name(technique);
+        let (session, build) = time(|| {
+            CrossfilterSession::build(base.clone(), &dims, technique).unwrap()
+        });
+        rows.push(ExpRow::new("fig13", "build", name, "latency_ms", ms(build)));
+
+        let mut cumulative_ms = ms(build);
+        for (view_idx, view) in session.views().iter().enumerate() {
+            let bars = view.bars();
+            let sample: Vec<Rid> = crate::query_exp::sample_groups(bars, INTERACTION_SAMPLE);
+            let mut total = 0.0;
+            for &bar in &sample {
+                let (_, d) = time(|| session.interact(view_idx, bar).unwrap());
+                total += ms(d);
+            }
+            let mean = total / sample.len().max(1) as f64;
+            rows.push(ExpRow::new(
+                "fig14",
+                format!("view={}", view.dimension),
+                name,
+                "interaction_ms",
+                mean,
+            ));
+            cumulative_ms += mean * bars as f64;
+        }
+        rows.push(ExpRow::new(
+            "fig13",
+            "cumulative(all interactions)",
+            name,
+            "latency_ms",
+            cumulative_ms,
+        ));
+    }
+    rows
+}
+
+fn technique_name(technique: CrossfilterTechnique) -> &'static str {
+    match technique {
+        CrossfilterTechnique::Lazy => "Lazy",
+        CrossfilterTechnique::BackwardTrace => "BT",
+        CrossfilterTechnique::BackwardForwardTrace => "BT+FT",
+        CrossfilterTechnique::PartialCube => "DataCube",
+    }
+}
+
+/// Figure 15: FD-violation evaluation and bipartite-graph construction
+/// latency for Metanome-UG, Smoke-UG, and Smoke-CD over the four paper FDs.
+pub fn fig15(scale: &Scale) -> Vec<ExpRow> {
+    let table = PhysicianSpec {
+        rows: scale.size(120_000, 4_000),
+        practices: scale.size(4_000, 200),
+        violation_rate: 0.02,
+        seed: 23,
+    }
+    .generate();
+    let fds = paper_fds();
+    let mut rows = Vec::new();
+    for technique in [
+        ProfilingTechnique::MetanomeUg,
+        ProfilingTechnique::SmokeUg,
+        ProfilingTechnique::SmokeCd,
+    ] {
+        let name = match technique {
+            ProfilingTechnique::MetanomeUg => "Metanome-UG",
+            ProfilingTechnique::SmokeUg => "Smoke-UG",
+            ProfilingTechnique::SmokeCd => "Smoke-CD",
+        };
+        let reports = check_all_fds(&table, &fds, technique).unwrap();
+        for report in &reports {
+            rows.push(ExpRow::new(
+                "fig15",
+                format!("{}->{}", report.fd.lhs, report.fd.rhs),
+                name,
+                "latency_ms",
+                ms(report.elapsed),
+            ));
+            rows.push(ExpRow::new(
+                "fig15",
+                format!("{}->{}", report.fd.lhs, report.fd.rhs),
+                name,
+                "violations",
+                report.violation_count() as f64,
+            ));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossfilter_experiment_covers_all_techniques_and_views() {
+        let rows = fig13_14(&Scale::tiny());
+        let techniques: std::collections::HashSet<&str> =
+            rows.iter().map(|r| r.technique.as_str()).collect();
+        for t in ["Lazy", "BT", "BT+FT", "DataCube"] {
+            assert!(techniques.contains(t), "missing {t}");
+        }
+        // Each technique reports 4 per-view means plus build and cumulative.
+        let btft: Vec<&ExpRow> = rows.iter().filter(|r| r.technique == "BT+FT").collect();
+        assert_eq!(btft.len(), 6);
+    }
+
+    #[test]
+    fn profiling_experiment_reports_consistent_violation_counts() {
+        let rows = fig15(&Scale::tiny());
+        // For every FD, all techniques must agree on the number of violations.
+        let fds: std::collections::HashSet<&str> =
+            rows.iter().map(|r| r.config.as_str()).collect();
+        for fd in fds {
+            let counts: std::collections::HashSet<i64> = rows
+                .iter()
+                .filter(|r| r.config == fd && r.metric == "violations")
+                .map(|r| r.value as i64)
+                .collect();
+            assert_eq!(counts.len(), 1, "techniques disagree on {fd}");
+        }
+    }
+}

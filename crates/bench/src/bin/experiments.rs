@@ -1,0 +1,109 @@
+//! Experiment driver: regenerates the data behind every figure of the Smoke
+//! evaluation and prints it as aligned tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|all]
+//!             [--scale <factor>] [--runs <n>]
+//! ```
+//!
+//! The default scale keeps the full suite at laptop/CI runtimes; pass
+//! `--scale 10` (or more) to approach the paper's dataset sizes.
+
+use smoke_bench::{apps_exp, micro, query_exp, render_table, tpch_exp, ExpRow, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut scale = Scale::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale.factor = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale requires a numeric factor");
+            }
+            "--runs" => {
+                i += 1;
+                scale.runs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs requires an integer");
+            }
+            other => which.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if which.is_empty() || which.iter().any(|w| w == "all") {
+        which = vec![
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "fig21", "fig22", "fig23",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    let mut all_rows: Vec<ExpRow> = Vec::new();
+    for name in &which {
+        let rows = run_experiment(name, &scale);
+        if rows.is_empty() {
+            continue;
+        }
+        println!("\n== {} ==", describe(name));
+        println!("{}", render_table(&rows));
+        all_rows.extend(rows);
+    }
+    println!("\ntotal measurements: {}", all_rows.len());
+}
+
+fn run_experiment(name: &str, scale: &Scale) -> Vec<ExpRow> {
+    match name {
+        "fig5" => micro::fig5(scale),
+        "fig6" => micro::fig6(scale),
+        "fig7" => micro::fig7(scale),
+        "fig8" => tpch_exp::fig8(scale),
+        "fig9" => query_exp::fig9(scale),
+        "fig10" => tpch_exp::fig10(scale),
+        "fig11" | "fig12" => {
+            let rows = tpch_exp::fig11_12(scale);
+            rows.into_iter().filter(|r| r.experiment == *name).collect()
+        }
+        "fig13" | "fig14" => {
+            let rows = apps_exp::fig13_14(scale);
+            rows.into_iter().filter(|r| r.experiment == *name).collect()
+        }
+        "fig15" => apps_exp::fig15(scale),
+        "fig21" => micro::fig21(scale),
+        "fig22" => tpch_exp::fig22(scale),
+        "fig23" => tpch_exp::fig23(scale),
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            Vec::new()
+        }
+    }
+}
+
+fn describe(name: &str) -> &'static str {
+    match name {
+        "fig5" => "Figure 5: group-by aggregation lineage capture",
+        "fig6" => "Figure 6: pk-fk join lineage capture",
+        "fig7" => "Figure 7: m:n join lineage capture",
+        "fig8" => "Figure 8: TPC-H capture overhead (Smoke-I vs Logic-Idx)",
+        "fig9" => "Figure 9: backward lineage query latency vs skew",
+        "fig10" => "Figure 10: data skipping for lineage-consuming queries",
+        "fig11" => "Figure 11: aggregation push-down query latency",
+        "fig12" => "Figure 12: aggregation push-down capture overhead",
+        "fig13" => "Figure 13: crossfilter cumulative latency",
+        "fig14" => "Figure 14: crossfilter per-interaction latency",
+        "fig15" => "Figure 15: FD-violation profiling latency",
+        "fig21" => "Figure 21: selection capture with selectivity estimates",
+        "fig22" => "Figure 22: instrumentation pruning per input relation",
+        "fig23" => "Figure 23: selection push-down capture latency",
+        _ => "unknown experiment",
+    }
+}

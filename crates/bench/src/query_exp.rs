@@ -1,0 +1,149 @@
+//! Lineage query performance (Figure 9).
+//!
+//! The backward lineage query `SELECT * FROM Lb(o ∈ Q(zipf), zipf)` is
+//! evaluated for every output group of the group-by microbenchmark query,
+//! under varying zipfian skew, with: Smoke-L (secondary index scan over the
+//! captured indexes), Lazy (selection scan on the group key), the annotated
+//! relations of Logic-Rid / Logic-Tup (selection scan on a wider relation),
+//! and Phys-Bdb (index lookups through the external store).
+
+use smoke_core::baselines::logical::{run_logical, scan_annotated_backward, LogicalTechnique};
+use smoke_core::baselines::physical::{group_by_with_sink, ExternalStoreSink};
+use smoke_core::lazy::{backward_predicate, lazy_backward};
+use smoke_core::ops::groupby::{group_by, GroupByOptions};
+use smoke_core::query::gather_rows;
+use smoke_core::{microbenchmark_aggs, PlanBuilder};
+use smoke_datagen::zipf::{zipf_table, ZipfSpec};
+use smoke_storage::{Database, Rid};
+
+use crate::{ms, time, ExpRow, Scale};
+
+/// Figure 9: backward lineage query latency across data skews.
+pub fn fig9(scale: &Scale) -> Vec<ExpRow> {
+    let mut rows = Vec::new();
+    let n = scale.size(300_000, 10_000);
+    let groups = scale.size(5_000, 200);
+    let keys = vec!["z".to_string()];
+    let aggs = microbenchmark_aggs("v");
+
+    for theta in [0.0, 0.4, 0.8, 1.6] {
+        let table = zipf_table(&ZipfSpec {
+            theta,
+            rows: n,
+            groups,
+            seed: 21,
+        });
+        let config = format!("theta={theta},n={n},g={groups}");
+
+        // Smoke-L: capture once, evaluate the lineage query per output group.
+        let captured = group_by(&table, &keys, &aggs, &GroupByOptions::inject()).unwrap();
+        let backward = captured.lineage.input(0).backward();
+        let sample: Vec<Rid> = sample_groups(captured.output.len(), 64);
+
+        let mut smoke_total = 0.0;
+        for &g in &sample {
+            let (_, d) = time(|| gather_rows(&table, &backward.lookup(g)));
+            smoke_total += ms(d);
+        }
+        rows.push(ExpRow::new(
+            "fig9",
+            &config,
+            "Smoke-L",
+            "avg_query_ms",
+            smoke_total / sample.len() as f64,
+        ));
+
+        // Lazy: selection scan on the group key.
+        let mut lazy_total = 0.0;
+        for &g in &sample {
+            let key_value = captured.output.value(g as usize, 0);
+            let pred = backward_predicate(&keys, &[key_value], None);
+            let (matched, d) = time(|| lazy_backward(&table, &pred).unwrap());
+            let (_, gather) = time(|| gather_rows(&table, &matched));
+            lazy_total += ms(d + gather);
+        }
+        rows.push(ExpRow::new(
+            "fig9",
+            &config,
+            "Lazy",
+            "avg_query_ms",
+            lazy_total / sample.len() as f64,
+        ));
+
+        // Logic-Rid / Logic-Tup: scan of the annotated relation.
+        let mut db = Database::new();
+        db.register(table.clone()).unwrap();
+        let plan = PlanBuilder::scan("zipf").group_by(&["z"], aggs.clone()).build();
+        for (name, technique) in [
+            ("Logic-Rid", LogicalTechnique::LogicRid),
+            ("Logic-Tup", LogicalTechnique::LogicTup),
+        ] {
+            let (capture, _) = run_logical(&plan, &db, technique).unwrap();
+            let mut total = 0.0;
+            for &g in &sample {
+                let (rids, d) = time(|| scan_annotated_backward(&capture, g, "zipf").unwrap());
+                let (_, gather) = time(|| gather_rows(&table, &rids));
+                total += ms(d + gather);
+            }
+            rows.push(ExpRow::new(
+                "fig9",
+                &config,
+                name,
+                "avg_query_ms",
+                total / sample.len() as f64,
+            ));
+        }
+
+        // Phys-Bdb: cursor reads through the external store.
+        let mut sink = ExternalStoreSink::new();
+        group_by_with_sink(&table, &keys, &aggs, &mut sink).unwrap();
+        let mut bdb_total = 0.0;
+        for &g in &sample {
+            let (rids, d) = time(|| sink.backward(g));
+            let (_, gather) = time(|| gather_rows(&table, &rids));
+            bdb_total += ms(d + gather);
+        }
+        rows.push(ExpRow::new(
+            "fig9",
+            &config,
+            "Phys-Bdb",
+            "avg_query_ms",
+            bdb_total / sample.len() as f64,
+        ));
+    }
+    rows
+}
+
+/// Deterministically samples up to `limit` group ids out of `total`.
+pub fn sample_groups(total: usize, limit: usize) -> Vec<Rid> {
+    if total <= limit {
+        return (0..total as Rid).collect();
+    }
+    let step = total / limit;
+    (0..limit).map(|i| (i * step) as Rid).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_bounded_and_deterministic() {
+        assert_eq!(sample_groups(5, 10), vec![0, 1, 2, 3, 4]);
+        let s = sample_groups(1000, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s, sample_groups(1000, 10));
+    }
+
+    #[test]
+    fn fig9_reports_every_technique_per_skew() {
+        let rows = fig9(&Scale::tiny());
+        let techniques: std::collections::HashSet<&str> =
+            rows.iter().map(|r| r.technique.as_str()).collect();
+        for t in ["Smoke-L", "Lazy", "Logic-Rid", "Logic-Tup", "Phys-Bdb"] {
+            assert!(techniques.contains(t), "missing {t}");
+        }
+        // 4 skews × 5 techniques.
+        assert_eq!(rows.len(), 20);
+    }
+}

@@ -1,0 +1,147 @@
+//! An external ordered key-value store standing in for BerkeleyDB.
+//!
+//! The paper's `Phys-Bdb` baseline writes every lineage edge into BerkeleyDB
+//! (in-memory, B-Tree indexed) through its client API and pays for (a) one
+//! call per edge across the subsystem boundary, (b) key/value byte encoding,
+//! and (c) B-Tree writes. `ExternalKvStore` exercises the same code paths: a
+//! `BTreeMap` over byte keys, duplicate-supporting puts, and a cursor API for
+//! reads, all behind an object-safe trait so calls are dynamically dispatched
+//! exactly like a foreign client library.
+
+use std::collections::BTreeMap;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use smoke_storage::Rid;
+
+/// Object-safe client API of the external store (mirrors the subset of the
+/// BerkeleyDB API the paper's baseline uses).
+pub trait ExternalStore {
+    /// Inserts a key/value pair; duplicate keys accumulate values in
+    /// insertion order.
+    fn put(&mut self, key: &[u8], value: &[u8]);
+    /// Returns all values stored under `key`, in insertion order (bulk get).
+    fn get_all(&self, key: &[u8]) -> Vec<Bytes>;
+    /// Opens a cursor over the values stored under `key` (cursor-style get,
+    /// which the paper found faster than the bulk API because it avoids
+    /// allocating the result vector).
+    fn cursor<'a>(&'a self, key: &[u8]) -> Box<dyn Iterator<Item = &'a Bytes> + 'a>;
+    /// Number of keys stored.
+    fn key_count(&self) -> usize;
+    /// Total number of values stored.
+    fn value_count(&self) -> usize;
+}
+
+/// In-memory ordered store with duplicate support.
+#[derive(Debug, Default)]
+pub struct ExternalKvStore {
+    tree: BTreeMap<Bytes, Vec<Bytes>>,
+}
+
+impl ExternalKvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ExternalKvStore::default()
+    }
+}
+
+impl ExternalStore for ExternalKvStore {
+    fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.tree
+            .entry(Bytes::copy_from_slice(key))
+            .or_default()
+            .push(Bytes::copy_from_slice(value));
+    }
+
+    fn get_all(&self, key: &[u8]) -> Vec<Bytes> {
+        self.tree.get(key).cloned().unwrap_or_default()
+    }
+
+    fn cursor<'a>(&'a self, key: &[u8]) -> Box<dyn Iterator<Item = &'a Bytes> + 'a> {
+        match self.tree.get(key) {
+            Some(values) => Box::new(values.iter()),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    fn key_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn value_count(&self) -> usize {
+        self.tree.values().map(Vec::len).sum()
+    }
+}
+
+/// Encodes a lineage-edge key: direction tag, input index, and source rid
+/// (big-endian so byte order matches numeric order in the B-Tree).
+pub fn encode_key(direction: u8, input_idx: u8, src: Rid) -> Bytes {
+    let mut buf = BytesMut::with_capacity(6);
+    buf.put_u8(direction);
+    buf.put_u8(input_idx);
+    buf.put_u32(src);
+    buf.freeze()
+}
+
+/// Encodes a rid value.
+pub fn encode_rid(rid: Rid) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4);
+    buf.put_u32(rid);
+    buf.freeze()
+}
+
+/// Decodes a rid value previously written by [`encode_rid`].
+pub fn decode_rid(bytes: &[u8]) -> Rid {
+    u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+}
+
+/// Direction tag for backward edges.
+pub const DIR_BACKWARD: u8 = 0;
+/// Direction tag for forward edges.
+pub const DIR_FORWARD: u8 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_get_with_duplicates() {
+        let mut store = ExternalKvStore::new();
+        let k = encode_key(DIR_BACKWARD, 0, 7);
+        store.put(&k, &encode_rid(1));
+        store.put(&k, &encode_rid(2));
+        store.put(&encode_key(DIR_BACKWARD, 0, 8), &encode_rid(3));
+
+        let values = store.get_all(&k);
+        assert_eq!(values.len(), 2);
+        assert_eq!(decode_rid(&values[0]), 1);
+        assert_eq!(decode_rid(&values[1]), 2);
+        assert_eq!(store.key_count(), 2);
+        assert_eq!(store.value_count(), 3);
+    }
+
+    #[test]
+    fn cursor_reads_in_insertion_order() {
+        let mut store = ExternalKvStore::new();
+        let k = encode_key(DIR_FORWARD, 1, 0);
+        for rid in [5, 3, 9] {
+            store.put(&k, &encode_rid(rid));
+        }
+        let rids: Vec<Rid> = store.cursor(&k).map(|b| decode_rid(b)).collect();
+        assert_eq!(rids, vec![5, 3, 9]);
+        assert_eq!(store.cursor(b"missing").count(), 0);
+    }
+
+    #[test]
+    fn keys_sort_by_rid_order() {
+        let a = encode_key(DIR_BACKWARD, 0, 1);
+        let b = encode_key(DIR_BACKWARD, 0, 256);
+        assert!(a < b, "big-endian encoding must preserve numeric order");
+    }
+
+    #[test]
+    fn missing_key_returns_empty() {
+        let store = ExternalKvStore::new();
+        assert!(store.get_all(b"nope").is_empty());
+        assert_eq!(store.value_count(), 0);
+    }
+}

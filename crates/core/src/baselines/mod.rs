@@ -1,0 +1,18 @@
+//! Baseline lineage-capture techniques used in the paper's evaluation
+//! (§5, Table 1).
+//!
+//! * [`logical`] — Perm-style query-rewrite capture (`Logic-Rid`,
+//!   `Logic-Tup`) and index construction over the annotated output
+//!   (`Logic-Idx`), re-implemented inside the Smoke engine with the hash-table
+//!   reuse optimizations of Appendix B so the comparison isolates the
+//!   *representation* rather than the host DBMS.
+//! * [`physical`] — instrumentation that emits one `(output, input)` rid pair
+//!   per lineage edge through a virtual (`dyn`) call: `Phys-Mem` stores the
+//!   edges in Smoke-style indexes, `Phys-Bdb` sends them to an external
+//!   ordered key-value store.
+//! * [`extstore`] — the external ordered key-value store standing in for
+//!   BerkeleyDB (byte-encoded keys/values, B-Tree storage, cursor reads).
+
+pub mod extstore;
+pub mod logical;
+pub mod physical;

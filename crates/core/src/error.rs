@@ -1,0 +1,58 @@
+//! Engine error types.
+
+use std::fmt;
+
+use smoke_storage::StorageError;
+
+/// Errors raised by the Smoke query engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// An error bubbled up from the storage layer.
+    Storage(StorageError),
+    /// A plan referenced a column that does not exist.
+    UnknownColumn(String),
+    /// A plan or expression was malformed.
+    InvalidPlan(String),
+    /// An expression could not be evaluated (e.g. type error).
+    Expression(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            EngineError::Expression(msg) => write!(f, "expression error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_errors_convert() {
+        let e: EngineError = StorageError::UnknownRelation("x".into()).into();
+        assert!(matches!(e, EngineError::Storage(_)));
+        assert!(e.to_string().contains("x"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(EngineError::UnknownColumn("z".into()).to_string().contains("z"));
+        assert!(EngineError::InvalidPlan("no root".into()).to_string().contains("no root"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Selection with lineage capture (paper §3.2.2).
+//!
+//! Selection emits a record whenever the predicate holds. Both lineage
+//! directions are rid arrays: the backward array lists the input rid of every
+//! output record, and the forward array (pre-allocated at the input
+//! cardinality) maps each input rid to its output rid or to the `NO_RID`
+//! sentinel when filtered. The paper finds Defer strictly inferior to Inject
+//! for selection, so only Inject (optionally with a selectivity estimate for
+//! pre-allocation, Appendix G.1) is implemented.
+
+use std::time::Instant;
+
+use smoke_lineage::{CaptureStats, InputLineage, LineageIndex, OperatorLineage, RidArray};
+use smoke_storage::{Relation, Rid};
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::instrument::DirectionFilter;
+use crate::ops::OpOutput;
+
+/// Options controlling selection instrumentation.
+#[derive(Debug, Clone, Default)]
+pub struct SelectOptions {
+    /// Whether (and in which directions) lineage is captured.
+    pub directions: DirectionFilter,
+    /// Whether capture is enabled at all (Baseline when `false`).
+    pub capture: bool,
+    /// Estimated selectivity in `[0, 1]`, used to pre-allocate the backward
+    /// rid array (the `Smoke-I+EC` variant). Over-estimates are preferable to
+    /// under-estimates, which still incur resizes.
+    pub selectivity_estimate: Option<f64>,
+}
+
+impl SelectOptions {
+    /// Baseline: no capture.
+    pub fn baseline() -> Self {
+        SelectOptions::default()
+    }
+
+    /// Inject capture in both directions.
+    pub fn inject() -> Self {
+        SelectOptions {
+            capture: true,
+            directions: DirectionFilter::Both,
+            ..Default::default()
+        }
+    }
+
+    /// Inject capture with a selectivity estimate (`Smoke-I+EC`).
+    pub fn inject_with_estimate(selectivity: f64) -> Self {
+        SelectOptions {
+            capture: true,
+            directions: DirectionFilter::Both,
+            selectivity_estimate: Some(selectivity),
+        }
+    }
+}
+
+/// Executes `SELECT * FROM input WHERE predicate` with optional lineage
+/// capture.
+pub fn select(input: &Relation, predicate: &Expr, opts: &SelectOptions) -> Result<OpOutput> {
+    let start = Instant::now();
+    let bound = predicate.bind(input)?;
+    let n = input.len();
+
+    let capture_backward = opts.capture && opts.directions.backward();
+    let capture_forward = opts.capture && opts.directions.forward();
+
+    // Matching rids are needed to materialize the output regardless of
+    // capture; the *backward index* is exactly this array, so Smoke reuses it
+    // (reuse principle P4) and the marginal capture cost is the forward array.
+    let mut matching: Vec<Rid> = match opts.selectivity_estimate {
+        Some(s) if opts.capture => Vec::with_capacity(((n as f64) * s.clamp(0.0, 1.0)) as usize),
+        _ => Vec::new(),
+    };
+    let mut forward = if capture_forward {
+        RidArray::filled(n)
+    } else {
+        RidArray::new()
+    };
+
+    let mut ctr_o: Rid = 0;
+    for rid in 0..n {
+        if bound.eval_bool(input, rid)? {
+            matching.push(rid as Rid);
+            if capture_forward {
+                forward.set(rid, ctr_o);
+            }
+            ctr_o += 1;
+        }
+    }
+
+    let output = input.gather(&matching, format!("select({})", input.name()));
+    let elapsed = start.elapsed();
+
+    let mut stats = CaptureStats {
+        base_query: elapsed,
+        ..Default::default()
+    };
+
+    if !opts.capture {
+        return Ok(OpOutput::baseline(output, stats));
+    }
+
+    let backward_index = LineageIndex::Array(RidArray::from_vec(matching));
+    stats.edges = output.len() as u64;
+    stats.lineage_bytes = (backward_index.heap_bytes()
+        + if capture_forward { forward.heap_bytes() } else { 0 }) as u64;
+
+    let lineage = InputLineage {
+        backward: capture_backward.then_some(backward_index),
+        forward: capture_forward.then(|| LineageIndex::Array(forward)),
+    };
+
+    Ok(OpOutput {
+        output,
+        lineage: OperatorLineage::unary(lineage),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoke_storage::{DataType, Value};
+
+    fn rel() -> Relation {
+        let mut b = Relation::builder("t")
+            .column("id", DataType::Int)
+            .column("v", DataType::Float);
+        for i in 0..10 {
+            b = b.row(vec![Value::Int(i), Value::Float(i as f64 * 10.0)]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn baseline_produces_no_lineage() {
+        let r = rel();
+        let out = select(&r, &Expr::col("v").lt(Expr::lit(35.0)), &SelectOptions::baseline()).unwrap();
+        assert_eq!(out.output.len(), 4);
+        assert!(out.lineage.is_none());
+    }
+
+    #[test]
+    fn inject_builds_backward_and_forward() {
+        let r = rel();
+        let out = select(
+            &r,
+            &Expr::col("id").ge(Expr::lit(7)),
+            &SelectOptions::inject(),
+        )
+        .unwrap();
+        assert_eq!(out.output.len(), 3);
+        let lin = out.lineage.input(0);
+        // Backward: output rid -> input rid.
+        assert_eq!(lin.backward().lookup(0), vec![7]);
+        assert_eq!(lin.backward().lookup(2), vec![9]);
+        // Forward: input rid -> output rid; filtered rows map to nothing.
+        assert_eq!(lin.forward().lookup(8), vec![1]);
+        assert_eq!(lin.forward().lookup(0), Vec::<Rid>::new());
+        assert_eq!(out.stats.edges, 3);
+    }
+
+    #[test]
+    fn estimate_preallocates_without_changing_results() {
+        let r = rel();
+        let pred = Expr::col("v").le(Expr::lit(50.0));
+        let plain = select(&r, &pred, &SelectOptions::inject()).unwrap();
+        let estimated = select(&r, &pred, &SelectOptions::inject_with_estimate(0.7)).unwrap();
+        assert_eq!(plain.output, estimated.output);
+        assert_eq!(
+            plain.lineage.input(0).backward().lookup(3),
+            estimated.lineage.input(0).backward().lookup(3)
+        );
+    }
+
+    #[test]
+    fn empty_selection() {
+        let r = rel();
+        let out = select(&r, &Expr::col("id").gt(Expr::lit(100)), &SelectOptions::inject()).unwrap();
+        assert_eq!(out.output.len(), 0);
+        assert_eq!(out.lineage.input(0).backward().len(), 0);
+        assert_eq!(out.lineage.input(0).forward().lookup(5), Vec::<Rid>::new());
+    }
+
+    #[test]
+    fn forward_and_backward_are_inverse() {
+        let r = rel();
+        let out = select(
+            &r,
+            &Expr::col("id").in_list(vec![Value::Int(2), Value::Int(5), Value::Int(8)]),
+            &SelectOptions::inject(),
+        )
+        .unwrap();
+        let lin = out.lineage.input(0);
+        for o in 0..out.output.len() as Rid {
+            let input = lin.backward().single(o).unwrap();
+            assert_eq!(lin.forward().single(input), Some(o));
+        }
+    }
+}

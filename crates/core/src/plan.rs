@@ -1,0 +1,201 @@
+//! Logical query plans and a fluent plan builder.
+//!
+//! The engine focuses, like the paper, on SPJA blocks (select / project / join
+//! / aggregate) over base relations. Plans are trees of [`LogicalPlan`] nodes
+//! built with [`PlanBuilder`] and executed by
+//! [`Executor`](crate::exec::Executor).
+
+use crate::agg::AggExpr;
+use crate::expr::Expr;
+
+/// A logical query plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan of a base relation.
+    Scan {
+        /// Base relation name.
+        table: String,
+    },
+    /// Filter rows by a predicate.
+    Select {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Filter predicate.
+        predicate: Expr,
+    },
+    /// Bag-semantics projection onto a list of columns.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output columns (in order).
+        columns: Vec<String>,
+    },
+    /// Hash group-by aggregation.
+    GroupBy {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-by key columns.
+        keys: Vec<String>,
+        /// Aggregate expressions.
+        aggs: Vec<AggExpr>,
+    },
+    /// Hash equi-join.
+    Join {
+        /// Left (build) input plan.
+        left: Box<LogicalPlan>,
+        /// Right (probe) input plan.
+        right: Box<LogicalPlan>,
+        /// Join key columns of the left input.
+        left_keys: Vec<String>,
+        /// Join key columns of the right input.
+        right_keys: Vec<String>,
+    },
+}
+
+impl LogicalPlan {
+    /// The base relations read by this plan, in left-to-right scan order.
+    pub fn base_tables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            LogicalPlan::Scan { table } => {
+                if !out.contains(&table.as_str()) {
+                    out.push(table);
+                }
+            }
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::GroupBy { input, .. } => input.collect_tables(out),
+            LogicalPlan::Join { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+
+    /// Whether the plan's root is a group-by aggregation (the shape of every
+    /// SPJA block in the paper's evaluation).
+    pub fn is_aggregation_rooted(&self) -> bool {
+        matches!(self, LogicalPlan::GroupBy { .. })
+    }
+
+    /// Number of operators in the plan.
+    pub fn operator_count(&self) -> usize {
+        match self {
+            LogicalPlan::Scan { .. } => 1,
+            LogicalPlan::Select { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::GroupBy { input, .. } => 1 + input.operator_count(),
+            LogicalPlan::Join { left, right, .. } => 1 + left.operator_count() + right.operator_count(),
+        }
+    }
+}
+
+/// Fluent builder for [`LogicalPlan`]s.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    plan: LogicalPlan,
+}
+
+impl PlanBuilder {
+    /// Starts a plan from a base relation scan.
+    pub fn scan(table: impl Into<String>) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Scan {
+                table: table.into(),
+            },
+        }
+    }
+
+    /// Adds a selection.
+    pub fn select(self, predicate: Expr) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Select {
+                input: Box::new(self.plan),
+                predicate,
+            },
+        }
+    }
+
+    /// Adds a bag-semantics projection.
+    pub fn project(self, columns: &[&str]) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Project {
+                input: Box::new(self.plan),
+                columns: columns.iter().map(|c| c.to_string()).collect(),
+            },
+        }
+    }
+
+    /// Adds a group-by aggregation.
+    pub fn group_by(self, keys: &[&str], aggs: Vec<AggExpr>) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::GroupBy {
+                input: Box::new(self.plan),
+                keys: keys.iter().map(|c| c.to_string()).collect(),
+                aggs,
+            },
+        }
+    }
+
+    /// Joins this plan (as the build side) with another plan (as the probe
+    /// side) on the given key columns.
+    pub fn join(self, right: PlanBuilder, left_keys: &[&str], right_keys: &[&str]) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Join {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+                left_keys: left_keys.iter().map(|c| c.to_string()).collect(),
+                right_keys: right_keys.iter().map(|c| c.to_string()).collect(),
+            },
+        }
+    }
+
+    /// Finalizes the plan.
+    pub fn build(self) -> LogicalPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_expected_tree() {
+        let plan = PlanBuilder::scan("orders")
+            .join(PlanBuilder::scan("lineitem"), &["o_orderkey"], &["l_orderkey"])
+            .select(Expr::col("l_quantity").gt(Expr::lit(10)))
+            .group_by(&["o_orderdate"], vec![AggExpr::count("cnt")])
+            .build();
+        assert!(plan.is_aggregation_rooted());
+        assert_eq!(plan.base_tables(), vec!["orders", "lineitem"]);
+        assert_eq!(plan.operator_count(), 5);
+    }
+
+    #[test]
+    fn duplicate_tables_reported_once() {
+        let plan = PlanBuilder::scan("t")
+            .join(PlanBuilder::scan("t"), &["a"], &["a"])
+            .build();
+        assert_eq!(plan.base_tables(), vec!["t"]);
+        assert!(!plan.is_aggregation_rooted());
+    }
+
+    #[test]
+    fn projection_and_selection_chain() {
+        let plan = PlanBuilder::scan("zipf")
+            .select(Expr::col("v").lt(Expr::lit(50.0)))
+            .project(&["z"])
+            .build();
+        assert_eq!(plan.operator_count(), 3);
+        match plan {
+            LogicalPlan::Project { columns, .. } => assert_eq!(columns, vec!["z"]),
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+}

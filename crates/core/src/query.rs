@@ -1,0 +1,225 @@
+//! Lineage and lineage-consuming query evaluation (paper §2.1, §6.3, §6.4).
+//!
+//! A lineage query is evaluated as a secondary index scan: probe the backward
+//! (or forward) index and use the resulting rids as array offsets into the
+//! base relation. A lineage-consuming query further filters / aggregates that
+//! rid set; the helpers here evaluate such queries directly over rid subsets
+//! without materializing intermediate relations.
+
+use std::collections::HashMap;
+
+use smoke_lineage::PartitionedRidIndex;
+use smoke_storage::{Relation, Rid};
+
+use crate::agg::{AggExpr, AggFunc, AggState};
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::key::{HashKey, KeyExtractor};
+use crate::workload::LineageCube;
+
+/// Materializes the rows of `relation` identified by `rids` (a plain lineage
+/// query `SELECT * FROM L(...)`).
+pub fn gather_rows(relation: &Relation, rids: &[Rid]) -> Relation {
+    relation.gather(rids, format!("lineage({})", relation.name()))
+}
+
+/// Evaluates a lineage-consuming aggregation over the subset of `relation`
+/// identified by `rids`: `SELECT keys, aggs FROM subset GROUP BY keys`.
+///
+/// The evaluation is an index scan: only the given rids are touched.
+pub fn consume_aggregate(
+    relation: &Relation,
+    rids: &[Rid],
+    keys: &[String],
+    aggs: &[AggExpr],
+) -> Result<Relation> {
+    consume_filter_aggregate(relation, rids, None, keys, aggs)
+}
+
+/// Evaluates a lineage-consuming filter + aggregation over a rid subset:
+/// `SELECT keys, aggs FROM subset WHERE predicate GROUP BY keys`.
+pub fn consume_filter_aggregate(
+    relation: &Relation,
+    rids: &[Rid],
+    predicate: Option<&Expr>,
+    keys: &[String],
+    aggs: &[AggExpr],
+) -> Result<Relation> {
+    let extractor = KeyExtractor::new(relation, keys)?;
+    let bound = match predicate {
+        Some(p) => Some(p.bind(relation)?),
+        None => None,
+    };
+    let agg_cols: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| match &a.column {
+            Some(c) => relation.column_index(c).map(Some),
+            None => Ok(None),
+        })
+        .collect::<std::result::Result<_, _>>()?;
+
+    let mut ht: HashMap<HashKey, u32> = HashMap::new();
+    let mut groups: Vec<(Vec<smoke_storage::Value>, Vec<AggState>)> = Vec::new();
+    for &rid in rids {
+        let rid = rid as usize;
+        if let Some(p) = &bound {
+            if !p.eval_bool(relation, rid)? {
+                continue;
+            }
+        }
+        let key = extractor.key(rid);
+        let gid = match ht.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let gid = groups.len() as u32;
+                groups.push((
+                    e.key().to_values(),
+                    aggs.iter().map(AggExpr::new_state).collect(),
+                ));
+                e.insert(gid);
+                gid
+            }
+        };
+        let states = &mut groups[gid as usize].1;
+        for (i, state) in states.iter_mut().enumerate() {
+            match (&aggs[i].func, agg_cols[i]) {
+                (AggFunc::Count, _) => state.update(0.0),
+                (AggFunc::CountDistinct, Some(c)) => {
+                    state.update_key(&relation.value(rid, c).group_key())
+                }
+                (_, Some(c)) => state.update(relation.column(c).numeric(rid).unwrap_or(0.0)),
+                (_, None) => state.update(0.0),
+            }
+        }
+    }
+
+    let mut builder = Relation::builder("consume");
+    for name in keys {
+        let idx = relation.column_index(name)?;
+        builder = builder.column(name.clone(), relation.schema().field(idx).data_type);
+    }
+    for agg in aggs {
+        builder = builder.column(agg.alias.clone(), agg.output_type());
+    }
+    for (key_values, states) in groups {
+        let mut row = key_values;
+        row.extend(states.iter().map(AggState::finalize));
+        builder = builder.row(row);
+    }
+    Ok(builder.build()?)
+}
+
+/// Evaluates a lineage-consuming aggregation using a data-skipping partitioned
+/// index (§4.2): only the rid partition matching `parameter` for the given
+/// base-query output is scanned.
+pub fn consume_with_skipping(
+    relation: &Relation,
+    index: &PartitionedRidIndex,
+    output_rid: Rid,
+    parameter: &str,
+    keys: &[String],
+    aggs: &[AggExpr],
+) -> Result<Relation> {
+    let rids = index.partition(output_rid as usize, parameter);
+    consume_aggregate(relation, rids, keys, aggs)
+}
+
+/// Answers a push-down lineage-consuming aggregation from the materialized
+/// cube (§4.2): no base-relation access at all.
+pub fn consume_from_cube(cube: &LineageCube, output_rid: Rid) -> Result<Relation> {
+    cube.query(output_rid as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoke_storage::{DataType, Value};
+
+    fn rel() -> Relation {
+        let mut b = Relation::builder("items")
+            .column("month", DataType::Str)
+            .column("qty", DataType::Float)
+            .column("mode", DataType::Str);
+        let rows = [
+            ("jan", 1.0, "AIR"),
+            ("jan", 2.0, "MAIL"),
+            ("feb", 3.0, "AIR"),
+            ("feb", 4.0, "AIR"),
+            ("mar", 5.0, "MAIL"),
+        ];
+        for (m, q, md) in rows {
+            b = b.row(vec![Value::Str(m.into()), Value::Float(q), Value::Str(md.into())]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn gather_rows_materializes_subset() {
+        let r = rel();
+        let sub = gather_rows(&r, &[4, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.value(0, 0), Value::Str("mar".into()));
+    }
+
+    #[test]
+    fn consume_aggregate_over_rid_subset() {
+        let r = rel();
+        let out = consume_aggregate(
+            &r,
+            &[0, 1, 2, 3],
+            &["month".to_string()],
+            &[AggExpr::count("cnt"), AggExpr::sum("qty", "total")],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.value(0, 0), Value::Str("jan".into()));
+        assert_eq!(out.value(0, 2), Value::Float(3.0));
+        assert_eq!(out.value(1, 2), Value::Float(7.0));
+    }
+
+    #[test]
+    fn consume_with_filter() {
+        let r = rel();
+        let out = consume_filter_aggregate(
+            &r,
+            &[0, 1, 2, 3, 4],
+            Some(&Expr::col("mode").eq(Expr::lit("AIR"))),
+            &["month".to_string()],
+            &[AggExpr::count("cnt")],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.value(0, 1), Value::Int(1)); // jan: one AIR row
+        assert_eq!(out.value(1, 1), Value::Int(2)); // feb: two AIR rows
+    }
+
+    #[test]
+    fn consume_with_skipping_scans_one_partition() {
+        let r = rel();
+        let mut idx = PartitionedRidIndex::with_len("mode", 1);
+        idx.append(0, "AIR", 0);
+        idx.append(0, "MAIL", 1);
+        idx.append(0, "AIR", 2);
+        idx.append(0, "AIR", 3);
+        idx.append(0, "MAIL", 4);
+        let out = consume_with_skipping(
+            &r,
+            &idx,
+            0,
+            "MAIL",
+            &["month".to_string()],
+            &[AggExpr::sum("qty", "total")],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.value(0, 1), Value::Float(2.0));
+        assert_eq!(out.value(1, 1), Value::Float(5.0));
+    }
+
+    #[test]
+    fn empty_rid_set_gives_empty_result() {
+        let r = rel();
+        let out = consume_aggregate(&r, &[], &["month".to_string()], &[AggExpr::count("c")]).unwrap();
+        assert_eq!(out.len(), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Workload-aware capture artifacts (§4.2).
+//!
+//! When the lineage-consuming workload is known up-front, Smoke pushes parts
+//! of it into lineage capture. The artifacts produced are:
+//!
+//! * [`PartitionedRidIndex`] (re-exported from `smoke-lineage`) — backward rid
+//!   arrays partitioned by a templated predicate attribute (data skipping);
+//! * [`LineageCube`] — per-(output group, partition) aggregate states
+//!   maintained incrementally during capture (group-by push-down), i.e. an
+//!   online partial data cube built by piggy-backing on the base query's scan.
+
+use std::collections::BTreeMap;
+
+use smoke_lineage::PartitionedRidIndex;
+use smoke_storage::{DataType, Field, Relation, Schema, Value};
+
+use crate::agg::{AggExpr, AggState};
+use crate::error::Result;
+
+/// Aggregates materialized during lineage capture, keyed by (output rid of the
+/// base query, partition key of the push-down group-by attributes).
+#[derive(Debug, Clone)]
+pub struct LineageCube {
+    /// `entries[out_rid]` maps a partition key (the rendered values of the
+    /// push-down group-by attributes) to the aggregate states for that cell.
+    entries: Vec<BTreeMap<String, CubeCell>>,
+    partition_by: Vec<String>,
+    aggs: Vec<AggExpr>,
+}
+
+/// One cell of the cube: the partition's group-by values plus its aggregate
+/// states.
+#[derive(Debug, Clone)]
+pub struct CubeCell {
+    /// Values of the push-down group-by attributes for this cell.
+    pub key_values: Vec<Value>,
+    /// Aggregate states for this cell.
+    pub states: Vec<AggState>,
+}
+
+impl LineageCube {
+    /// Creates an empty cube for `output_len` base-query output records.
+    pub fn new(output_len: usize, partition_by: Vec<String>, aggs: Vec<AggExpr>) -> Self {
+        LineageCube {
+            entries: vec![BTreeMap::new(); output_len],
+            partition_by,
+            aggs,
+        }
+    }
+
+    /// The push-down group-by attributes.
+    pub fn partition_by(&self) -> &[String] {
+        &self.partition_by
+    }
+
+    /// The push-down aggregates.
+    pub fn aggs(&self) -> &[AggExpr] {
+        &self.aggs
+    }
+
+    /// Number of base-query output records covered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cube covers no output records.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ensures the cube covers `out_rid`.
+    pub fn ensure_len(&mut self, len: usize) {
+        if self.entries.len() < len {
+            self.entries.resize(len, BTreeMap::new());
+        }
+    }
+
+    /// Folds one input row's contribution into the cube.
+    ///
+    /// `key` is the rendered partition key, `key_values` its attribute values,
+    /// and `agg_inputs[i]` the numeric input of the `i`-th aggregate (or the
+    /// categorical key for `COUNT(DISTINCT)` states, passed via
+    /// `distinct_keys`).
+    pub fn update(
+        &mut self,
+        out_rid: usize,
+        key: &str,
+        key_values: &[Value],
+        agg_inputs: &[f64],
+        distinct_keys: &[Option<String>],
+    ) {
+        if out_rid >= self.entries.len() {
+            self.entries.resize(out_rid + 1, BTreeMap::new());
+        }
+        let aggs = &self.aggs;
+        let cell = self.entries[out_rid]
+            .entry(key.to_string())
+            .or_insert_with(|| CubeCell {
+                key_values: key_values.to_vec(),
+                states: aggs.iter().map(AggExpr::new_state).collect(),
+            });
+        for (i, state) in cell.states.iter_mut().enumerate() {
+            if let Some(Some(k)) = distinct_keys.get(i) {
+                state.update_key(k);
+            } else {
+                state.update(agg_inputs.get(i).copied().unwrap_or(0.0));
+            }
+        }
+    }
+
+    /// Answers the push-down lineage-consuming query for one base-query output
+    /// record: a relation with the partition attributes plus one column per
+    /// aggregate. This is the "≈0 ms" path of Fig. 11.
+    pub fn query(&self, out_rid: usize) -> Result<Relation> {
+        let mut fields: Vec<Field> = Vec::new();
+        for (i, name) in self.partition_by.iter().enumerate() {
+            let dt = self
+                .entries
+                .get(out_rid)
+                .and_then(|m| m.values().next())
+                .map(|c| c.key_values[i].data_type())
+                .unwrap_or(DataType::Str);
+            fields.push(Field::new(name.clone(), dt));
+        }
+        for agg in &self.aggs {
+            fields.push(Field::new(agg.alias.clone(), agg.output_type()));
+        }
+        let schema = Schema::new(fields)?;
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        if let Some(cells) = self.entries.get(out_rid) {
+            for cell in cells.values() {
+                let mut row = cell.key_values.clone();
+                row.extend(cell.states.iter().map(AggState::finalize));
+                rows.push(row);
+            }
+        }
+        // Rebuild through the relation builder to reuse its type checking.
+        let mut b = Relation::builder("cube_result");
+        for f in schema.fields() {
+            b = b.column(f.name.clone(), f.data_type);
+        }
+        for row in rows {
+            b = b.row(row);
+        }
+        Ok(b.build()?)
+    }
+
+    /// Total number of materialized cells.
+    pub fn cell_count(&self) -> usize {
+        self.entries.iter().map(BTreeMap::len).sum()
+    }
+}
+
+/// The workload-aware artifacts produced by an instrumented execution.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadArtifacts {
+    /// Partitioned backward index for data skipping, if requested.
+    pub partitioned: Option<PartitionedRidIndex>,
+    /// Materialized push-down aggregates, if requested.
+    pub cube: Option<LineageCube>,
+}
+
+impl WorkloadArtifacts {
+    /// Whether any artifact was produced.
+    pub fn is_empty(&self) -> bool {
+        self.partitioned.is_none() && self.cube.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube() -> LineageCube {
+        let mut cube = LineageCube::new(
+            2,
+            vec!["month".to_string()],
+            vec![AggExpr::count("cnt"), AggExpr::sum("v", "total")],
+        );
+        cube.update(0, "jan", &[Value::Str("jan".into())], &[1.0, 10.0], &[None, None]);
+        cube.update(0, "jan", &[Value::Str("jan".into())], &[1.0, 5.0], &[None, None]);
+        cube.update(0, "feb", &[Value::Str("feb".into())], &[1.0, 2.0], &[None, None]);
+        cube.update(1, "jan", &[Value::Str("jan".into())], &[1.0, 7.0], &[None, None]);
+        cube
+    }
+
+    #[test]
+    fn cube_accumulates_per_partition() {
+        let cube = cube();
+        assert_eq!(cube.cell_count(), 3);
+        assert_eq!(cube.len(), 2);
+
+        let result = cube.query(0).unwrap();
+        assert_eq!(result.len(), 2);
+        // BTreeMap ordering: feb before jan.
+        assert_eq!(result.value(0, 0), Value::Str("feb".into()));
+        assert_eq!(result.value(0, 1), Value::Int(1));
+        assert_eq!(result.value(1, 0), Value::Str("jan".into()));
+        assert_eq!(result.value(1, 1), Value::Int(2));
+        assert_eq!(result.value(1, 2), Value::Float(15.0));
+    }
+
+    #[test]
+    fn cube_query_for_uncovered_output_is_empty() {
+        let cube = cube();
+        let result = cube.query(1).unwrap();
+        assert_eq!(result.len(), 1);
+        let empty = LineageCube::new(0, vec!["m".into()], vec![AggExpr::count("c")]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.query(5).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn cube_grows_on_demand() {
+        let mut cube = LineageCube::new(1, vec!["k".into()], vec![AggExpr::count("c")]);
+        cube.update(4, "x", &[Value::Str("x".into())], &[1.0], &[None]);
+        assert_eq!(cube.len(), 5);
+        cube.ensure_len(10);
+        assert_eq!(cube.len(), 10);
+    }
+
+    #[test]
+    fn artifacts_emptiness() {
+        assert!(WorkloadArtifacts::default().is_empty());
+        let arts = WorkloadArtifacts {
+            cube: Some(cube()),
+            partitioned: None,
+        };
+        assert!(!arts.is_empty());
+    }
+
+    #[test]
+    fn cube_with_count_distinct() {
+        let mut cube = LineageCube::new(
+            1,
+            vec!["k".into()],
+            vec![AggExpr::count_distinct("b", "cd")],
+        );
+        cube.update(0, "x", &[Value::Str("x".into())], &[0.0], &[Some("b1".into())]);
+        cube.update(0, "x", &[Value::Str("x".into())], &[0.0], &[Some("b1".into())]);
+        cube.update(0, "x", &[Value::Str("x".into())], &[0.0], &[Some("b2".into())]);
+        let r = cube.query(0).unwrap();
+        assert_eq!(r.value(0, 1), Value::Int(2));
+    }
+}

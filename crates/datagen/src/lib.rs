@@ -1,0 +1,30 @@
+//! # smoke-datagen
+//!
+//! Synthetic workload generators for the Smoke reproduction, covering every
+//! dataset the paper's evaluation uses:
+//!
+//! * [`zipf`] — the microbenchmark tables `zipf_{θ,n,g}(id, z, v)` and the
+//!   `gids` dimension table used by the pk-fk join experiments (§5 "Data");
+//! * [`tpch`] — a TPC-H-like generator producing the columns needed by
+//!   queries Q1, Q3, Q10, and Q12 with pk-fk relationships and realistic
+//!   group cardinalities, plus [`tpch_queries`] building those query plans;
+//! * [`ontime`] — an Ontime-like flights table with the four crossfilter view
+//!   dimensions (lat/lon bins, date bins, departure-delay bins, carriers);
+//! * [`physician`] — a Physician-Compare-like table with (mostly-holding)
+//!   functional dependencies and injected violations for the data-profiling
+//!   experiments.
+//!
+//! All generators are seeded and deterministic.
+
+#![warn(missing_docs)]
+
+pub mod ontime;
+pub mod physician;
+pub mod tpch;
+pub mod tpch_queries;
+pub mod zipf;
+
+pub use ontime::OntimeSpec;
+pub use physician::PhysicianSpec;
+pub use tpch::TpchSpec;
+pub use zipf::{gids_table, zipf_table, ZipfSpec};

@@ -1,0 +1,177 @@
+//! Ontime-like flights dataset for the crossfilter experiments (§6.5.1).
+//!
+//! The paper uses the Airline On-Time Performance dataset (123.5M rows) with
+//! four group-by COUNT views: `<lat, lon>` (65,536 bins, of which ~8,100 are
+//! non-empty), `<date>` (7,762 bins), `<departure delay>` (8 bins) and
+//! `<carrier>` (29 bins). This generator reproduces that structure — the same
+//! view dimensions, bin counts, sparsity, and a skewed popularity per bin —
+//! at a configurable row count, which is what the crossfilter techniques'
+//! relative behaviour depends on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smoke_storage::{Column, DataType, Field, Relation, Schema};
+
+use crate::zipf::ZipfSampler;
+
+/// Carrier codes (29, as in the paper's setup).
+pub const CARRIERS: [&str; 29] = [
+    "AA", "AS", "B6", "DL", "EV", "F9", "FL", "HA", "MQ", "NK", "OO", "UA", "US", "VX", "WN",
+    "9E", "OH", "XE", "YV", "CO", "NW", "TZ", "DH", "HP", "RU", "TW", "AQ", "KH", "PA",
+];
+
+/// Number of distinct lat/lon grid bins (256 × 256).
+pub const LATLON_BINS: usize = 65_536;
+/// Number of lat/lon bins that actually receive data (sparsity of the paper's
+/// setup: only ~8,100 bins are non-empty).
+pub const LATLON_NONZERO_BINS: usize = 8_100;
+/// Number of date bins.
+pub const DATE_BINS: usize = 7_762;
+/// Number of departure-delay bins.
+pub const DELAY_BINS: usize = 8;
+
+/// Generation parameters for the flights table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OntimeSpec {
+    /// Number of flight rows to generate.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OntimeSpec {
+    fn default() -> Self {
+        OntimeSpec {
+            rows: 200_000,
+            seed: 17,
+        }
+    }
+}
+
+impl OntimeSpec {
+    /// A spec with the given row count.
+    pub fn with_rows(rows: usize) -> Self {
+        OntimeSpec {
+            rows,
+            ..Default::default()
+        }
+    }
+
+    /// Generates the `ontime` relation with the four view dimensions.
+    pub fn generate(&self) -> Relation {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Popularity per non-empty lat/lon bin is skewed (airports differ by
+        // orders of magnitude in traffic); dates are mildly skewed; delays
+        // and carriers follow fixed categorical distributions.
+        let latlon_sampler = ZipfSampler::new(LATLON_NONZERO_BINS, 1.0);
+        let date_sampler = ZipfSampler::new(DATE_BINS, 0.3);
+        let carrier_sampler = ZipfSampler::new(CARRIERS.len(), 0.8);
+
+        // Scatter the non-empty bins across the full 65,536-bin grid.
+        let mut active_bins: Vec<i64> = Vec::with_capacity(LATLON_NONZERO_BINS);
+        let mut used = vec![false; LATLON_BINS];
+        while active_bins.len() < LATLON_NONZERO_BINS {
+            let bin = rng.gen_range(0..LATLON_BINS);
+            if !used[bin] {
+                used[bin] = true;
+                active_bins.push(bin as i64);
+            }
+        }
+
+        let mut latlon = Vec::with_capacity(self.rows);
+        let mut date = Vec::with_capacity(self.rows);
+        let mut delay = Vec::with_capacity(self.rows);
+        let mut carrier = Vec::with_capacity(self.rows);
+        for _ in 0..self.rows {
+            latlon.push(active_bins[latlon_sampler.sample(&mut rng) - 1]);
+            date.push((date_sampler.sample(&mut rng) - 1) as i64);
+            // Delay bins: most flights are in the low-delay bins.
+            let d: f64 = rng.gen();
+            delay.push((d * d * DELAY_BINS as f64).floor().min(7.0) as i64);
+            carrier.push(CARRIERS[carrier_sampler.sample(&mut rng) - 1].to_string());
+        }
+
+        let schema = Schema::new(vec![
+            Field::new("latlon_bin", DataType::Int),
+            Field::new("date_bin", DataType::Int),
+            Field::new("delay_bin", DataType::Int),
+            Field::new("carrier", DataType::Str),
+        ])
+        .expect("static schema");
+        Relation::from_columns(
+            "ontime",
+            schema,
+            vec![
+                Column::Int(latlon),
+                Column::Int(date),
+                Column::Int(delay),
+                Column::Str(carrier),
+            ],
+        )
+        .expect("columns match schema")
+    }
+}
+
+/// The four crossfilter view dimensions of the paper's setup, in the order
+/// they are reported (lat/lon, date, departure delay, carrier).
+pub fn view_dimensions() -> Vec<&'static str> {
+    vec!["latlon_bin", "date_bin", "delay_bin", "carrier"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table_has_four_dimensions_and_requested_rows() {
+        let t = OntimeSpec::with_rows(5_000).generate();
+        assert_eq!(t.len(), 5_000);
+        assert_eq!(
+            t.schema().names(),
+            vec!["latlon_bin", "date_bin", "delay_bin", "carrier"]
+        );
+    }
+
+    #[test]
+    fn bins_stay_within_domains() {
+        let t = OntimeSpec::with_rows(20_000).generate();
+        assert!(t
+            .column_by_name("latlon_bin")
+            .unwrap()
+            .as_int()
+            .iter()
+            .all(|&b| (0..LATLON_BINS as i64).contains(&b)));
+        assert!(t
+            .column_by_name("delay_bin")
+            .unwrap()
+            .as_int()
+            .iter()
+            .all(|&b| (0..DELAY_BINS as i64).contains(&b)));
+        let carriers: HashSet<&String> =
+            t.column_by_name("carrier").unwrap().as_str().iter().collect();
+        assert!(carriers.len() <= 29);
+    }
+
+    #[test]
+    fn latlon_is_sparse_relative_to_grid() {
+        let t = OntimeSpec::with_rows(50_000).generate();
+        let bins: HashSet<i64> = t
+            .column_by_name("latlon_bin")
+            .unwrap()
+            .as_int()
+            .iter()
+            .copied()
+            .collect();
+        assert!(bins.len() <= LATLON_NONZERO_BINS);
+        assert!(bins.len() > 1_000, "expected thousands of non-empty bins");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            OntimeSpec::with_rows(1_000).generate(),
+            OntimeSpec::with_rows(1_000).generate()
+        );
+    }
+}

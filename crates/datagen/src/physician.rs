@@ -1,0 +1,243 @@
+//! Physician-Compare-like dataset for the data-profiling experiments
+//! (§6.5.2).
+//!
+//! The paper checks four functional dependencies over the Physician Compare
+//! National dataset (2.2M rows): `NPI → PAC_ID`, `Zip → State`, `Zip → City`,
+//! and `LBN1 → CCN1`, and builds a bipartite graph connecting violating
+//! left-hand-side values to the tuples responsible. This generator produces a
+//! table with the same columns and FDs that hold except for an injected,
+//! configurable fraction of violating left-hand-side values.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smoke_storage::{Column, DataType, Field, Relation, Schema};
+
+/// US state codes used for the `state` column domain.
+const STATES: [&str; 20] = [
+    "NY", "CA", "TX", "FL", "IL", "PA", "OH", "GA", "NC", "MI", "NJ", "VA", "WA", "AZ", "MA",
+    "TN", "IN", "MO", "MD", "WI",
+];
+
+/// A functional dependency `lhs → rhs` over the physician table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalDependency {
+    /// Determinant column.
+    pub lhs: String,
+    /// Dependent column.
+    pub rhs: String,
+}
+
+impl FunctionalDependency {
+    /// Creates an FD.
+    pub fn new(lhs: impl Into<String>, rhs: impl Into<String>) -> Self {
+        FunctionalDependency {
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        }
+    }
+}
+
+/// The four FDs evaluated in the paper (Figure 15), in report order.
+pub fn paper_fds() -> Vec<FunctionalDependency> {
+    vec![
+        FunctionalDependency::new("npi", "pac_id"),
+        FunctionalDependency::new("zip", "state"),
+        FunctionalDependency::new("zip", "city"),
+        FunctionalDependency::new("lbn", "ccn"),
+    ]
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysicianSpec {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of distinct practices (zip/lbn density follows from this).
+    pub practices: usize,
+    /// Fraction of left-hand-side values that violate each FD.
+    pub violation_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PhysicianSpec {
+    fn default() -> Self {
+        PhysicianSpec {
+            rows: 50_000,
+            practices: 2_000,
+            violation_rate: 0.02,
+            seed: 23,
+        }
+    }
+}
+
+impl PhysicianSpec {
+    /// A spec with the given row count.
+    pub fn with_rows(rows: usize) -> Self {
+        PhysicianSpec {
+            rows,
+            practices: (rows / 25).max(10),
+            ..Default::default()
+        }
+    }
+
+    /// Generates the `physician` relation.
+    pub fn generate(&self) -> Relation {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let practices = self.practices.max(1);
+
+        // Per-practice attributes; a violating practice gets a second,
+        // conflicting value for the dependent attribute of each FD.
+        let practice_zip: Vec<String> =
+            (0..practices).map(|p| format!("{:05}", 10_000 + p)).collect();
+        let practice_state: Vec<&str> =
+            (0..practices).map(|p| STATES[p % STATES.len()]).collect();
+        let practice_city: Vec<String> = (0..practices).map(|p| format!("CITY_{p}")).collect();
+        let practice_lbn: Vec<String> =
+            (0..practices).map(|p| format!("LEGAL BUSINESS {p}")).collect();
+        let practice_ccn: Vec<String> = (0..practices).map(|p| format!("CCN{p:06}")).collect();
+        let violates: Vec<bool> = (0..practices)
+            .map(|_| rng.gen_bool(self.violation_rate.clamp(0.0, 1.0)))
+            .collect();
+
+        let mut npi = Vec::with_capacity(self.rows);
+        let mut pac = Vec::with_capacity(self.rows);
+        let mut zip = Vec::with_capacity(self.rows);
+        let mut state = Vec::with_capacity(self.rows);
+        let mut city = Vec::with_capacity(self.rows);
+        let mut lbn = Vec::with_capacity(self.rows);
+        let mut ccn = Vec::with_capacity(self.rows);
+
+        // Physicians (NPIs) appear on average in ~2 rows (one per practice
+        // affiliation), so NPI → PAC_ID mostly holds with a few violations.
+        let physicians = (self.rows / 2).max(1);
+        let npi_violates: Vec<bool> = (0..physicians)
+            .map(|_| rng.gen_bool(self.violation_rate.clamp(0.0, 1.0)))
+            .collect();
+
+        for _ in 0..self.rows {
+            let doc = rng.gen_range(0..physicians);
+            let practice = rng.gen_range(0..practices);
+            npi.push(1_000_000_000 + doc as i64);
+            let base_pac = 10_000_000 + doc as i64;
+            pac.push(if npi_violates[doc] && rng.gen_bool(0.5) {
+                base_pac + 7_777
+            } else {
+                base_pac
+            });
+            zip.push(practice_zip[practice].clone());
+            let conflict = violates[practice] && rng.gen_bool(0.5);
+            state.push(if conflict {
+                STATES[(practice + 1) % STATES.len()].to_string()
+            } else {
+                practice_state[practice].to_string()
+            });
+            city.push(if conflict {
+                format!("CITY_{}_ALT", practice)
+            } else {
+                practice_city[practice].clone()
+            });
+            lbn.push(practice_lbn[practice].clone());
+            ccn.push(if conflict {
+                format!("CCN{:06}X", practice)
+            } else {
+                practice_ccn[practice].clone()
+            });
+        }
+
+        let schema = Schema::new(vec![
+            Field::new("npi", DataType::Int),
+            Field::new("pac_id", DataType::Int),
+            Field::new("zip", DataType::Str),
+            Field::new("state", DataType::Str),
+            Field::new("city", DataType::Str),
+            Field::new("lbn", DataType::Str),
+            Field::new("ccn", DataType::Str),
+        ])
+        .expect("static schema");
+        Relation::from_columns(
+            "physician",
+            schema,
+            vec![
+                Column::Int(npi),
+                Column::Int(pac),
+                Column::Str(zip),
+                Column::Str(state),
+                Column::Str(city),
+                Column::Str(lbn),
+                Column::Str(ccn),
+            ],
+        )
+        .expect("columns match schema")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn violating_lhs(rel: &Relation, fd: &FunctionalDependency) -> usize {
+        let lhs = rel.column_by_name(&fd.lhs).unwrap();
+        let rhs = rel.column_by_name(&fd.rhs).unwrap();
+        let mut map: HashMap<String, HashSet<String>> = HashMap::new();
+        for rid in 0..rel.len() {
+            map.entry(lhs.value(rid).group_key())
+                .or_default()
+                .insert(rhs.value(rid).group_key());
+        }
+        map.values().filter(|s| s.len() > 1).count()
+    }
+
+    #[test]
+    fn schema_matches_paper_columns() {
+        let r = PhysicianSpec::with_rows(1_000).generate();
+        assert_eq!(
+            r.schema().names(),
+            vec!["npi", "pac_id", "zip", "state", "city", "lbn", "ccn"]
+        );
+        assert_eq!(r.len(), 1_000);
+    }
+
+    #[test]
+    fn fds_mostly_hold_with_some_violations() {
+        let spec = PhysicianSpec {
+            rows: 20_000,
+            practices: 800,
+            violation_rate: 0.05,
+            seed: 5,
+        };
+        let r = spec.generate();
+        for fd in paper_fds() {
+            let violations = violating_lhs(&r, &fd);
+            assert!(violations > 0, "{fd:?} should have injected violations");
+            // Violations are a small fraction of the distinct LHS values.
+            let distinct_lhs: HashSet<String> = (0..r.len())
+                .map(|rid| r.column_by_name(&fd.lhs).unwrap().value(rid).group_key())
+                .collect();
+            assert!(violations * 5 < distinct_lhs.len(), "{fd:?} violates too often");
+        }
+    }
+
+    #[test]
+    fn zero_violation_rate_produces_clean_fds() {
+        let spec = PhysicianSpec {
+            rows: 5_000,
+            practices: 300,
+            violation_rate: 0.0,
+            seed: 5,
+        };
+        let r = spec.generate();
+        for fd in paper_fds() {
+            assert_eq!(violating_lhs(&r, &fd), 0, "{fd:?} should hold exactly");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            PhysicianSpec::default().generate(),
+            PhysicianSpec::default().generate()
+        );
+    }
+}

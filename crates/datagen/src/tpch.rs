@@ -1,0 +1,361 @@
+//! TPC-H-like data generator (paper §5, §6.2, §6.4).
+//!
+//! Generates the four relations touched by TPC-H Q1, Q3, Q10, and Q12 —
+//! `lineitem`, `orders`, `customer`, and `nation` — with the columns those
+//! queries reference, proper pk-fk relationships, and the group cardinalities
+//! that matter for the evaluation (e.g. Q1 produces exactly four
+//! `(l_returnflag, l_linestatus)` groups). Scale factor 1 corresponds to the
+//! official 6M-row `lineitem`; the generator accepts any (fractional) scale.
+//!
+//! Because the Smoke engine's aggregates operate over columns, the arithmetic
+//! expressions of Q1 (`l_extendedprice * (1 - l_discount)` and
+//! `… * (1 + l_tax)`) are materialized as the derived columns `l_discprice`
+//! and `l_charge` at generation time.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smoke_storage::{Column, Database, DataType, Field, Relation, Schema};
+
+/// The 25 TPC-H nations (by key).
+pub const NATIONS: [&str; 25] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA",
+    "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU",
+    "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+];
+
+/// Ship modes used by `l_shipmode`.
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Ship instructions used by `l_shipinstruct`.
+pub const SHIP_INSTRUCTS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+
+/// Market segments used by `c_mktsegment`.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpchSpec {
+    /// Scale factor (1.0 ≈ 6M lineitem rows). The evaluation harness defaults
+    /// to a laptop-scale fraction.
+    pub scale_factor: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchSpec {
+    fn default() -> Self {
+        TpchSpec {
+            scale_factor: 0.005,
+            seed: 7,
+        }
+    }
+}
+
+impl TpchSpec {
+    /// A spec with the given scale factor.
+    pub fn with_scale(scale_factor: f64) -> Self {
+        TpchSpec {
+            scale_factor,
+            ..Default::default()
+        }
+    }
+
+    /// Number of `lineitem` rows at this scale.
+    pub fn lineitem_rows(&self) -> usize {
+        ((6_000_000.0 * self.scale_factor) as usize).max(100)
+    }
+
+    /// Number of `orders` rows at this scale.
+    pub fn orders_rows(&self) -> usize {
+        ((1_500_000.0 * self.scale_factor) as usize).max(25)
+    }
+
+    /// Number of `customer` rows at this scale.
+    pub fn customer_rows(&self) -> usize {
+        ((150_000.0 * self.scale_factor) as usize).max(10)
+    }
+
+    /// Generates the full database (lineitem, orders, customer, nation).
+    pub fn generate(&self) -> Database {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut db = Database::new();
+        db.register(generate_nation()).expect("fresh catalog");
+        db.register(generate_customer(self.customer_rows(), &mut rng))
+            .expect("fresh catalog");
+        db.register(generate_orders(self.orders_rows(), self.customer_rows(), &mut rng))
+            .expect("fresh catalog");
+        db.register(generate_lineitem(
+            self.lineitem_rows(),
+            self.orders_rows(),
+            &mut rng,
+        ))
+        .expect("fresh catalog");
+        db
+    }
+}
+
+/// Total number of day offsets in the generated date domain (1992-01-01 ..
+/// 1998-12-01, roughly).
+pub const DATE_DOMAIN_DAYS: i64 = 2520;
+
+fn generate_nation() -> Relation {
+    let keys: Vec<i64> = (0..NATIONS.len() as i64).collect();
+    let names: Vec<String> = NATIONS.iter().map(|s| s.to_string()).collect();
+    let schema = Schema::new(vec![
+        Field::new("n_nationkey", DataType::Int),
+        Field::new("n_name", DataType::Str),
+    ])
+    .expect("static schema");
+    Relation::from_columns("nation", schema, vec![Column::Int(keys), Column::Str(names)])
+        .expect("columns match schema")
+}
+
+fn generate_customer(rows: usize, rng: &mut StdRng) -> Relation {
+    let keys: Vec<i64> = (0..rows as i64).collect();
+    let mut segments = Vec::with_capacity(rows);
+    let mut nations = Vec::with_capacity(rows);
+    let mut acctbal = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        segments.push(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_string());
+        nations.push(rng.gen_range(0..NATIONS.len() as i64));
+        acctbal.push(rng.gen_range(-999.0..10_000.0));
+    }
+    let schema = Schema::new(vec![
+        Field::new("c_custkey", DataType::Int),
+        Field::new("c_mktsegment", DataType::Str),
+        Field::new("c_nationkey", DataType::Int),
+        Field::new("c_acctbal", DataType::Float),
+    ])
+    .expect("static schema");
+    Relation::from_columns(
+        "customer",
+        schema,
+        vec![
+            Column::Int(keys),
+            Column::Str(segments),
+            Column::Int(nations),
+            Column::Float(acctbal),
+        ],
+    )
+    .expect("columns match schema")
+}
+
+fn generate_orders(rows: usize, customers: usize, rng: &mut StdRng) -> Relation {
+    let keys: Vec<i64> = (0..rows as i64).collect();
+    let mut cust = Vec::with_capacity(rows);
+    let mut dates = Vec::with_capacity(rows);
+    let mut prio = Vec::with_capacity(rows);
+    let mut total = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        cust.push(rng.gen_range(0..customers.max(1) as i64));
+        dates.push(rng.gen_range(0..DATE_DOMAIN_DAYS));
+        prio.push(rng.gen_range(0..5));
+        total.push(rng.gen_range(1_000.0..500_000.0));
+    }
+    let schema = Schema::new(vec![
+        Field::new("o_orderkey", DataType::Int),
+        Field::new("o_custkey", DataType::Int),
+        Field::new("o_orderdate", DataType::Int),
+        Field::new("o_shippriority", DataType::Int),
+        Field::new("o_totalprice", DataType::Float),
+    ])
+    .expect("static schema");
+    Relation::from_columns(
+        "orders",
+        schema,
+        vec![
+            Column::Int(keys),
+            Column::Int(cust),
+            Column::Int(dates),
+            Column::Int(prio),
+            Column::Float(total),
+        ],
+    )
+    .expect("columns match schema")
+}
+
+fn generate_lineitem(rows: usize, orders: usize, rng: &mut StdRng) -> Relation {
+    let mut orderkey = Vec::with_capacity(rows);
+    let mut quantity = Vec::with_capacity(rows);
+    let mut extprice = Vec::with_capacity(rows);
+    let mut discount = Vec::with_capacity(rows);
+    let mut tax = Vec::with_capacity(rows);
+    let mut discprice = Vec::with_capacity(rows);
+    let mut charge = Vec::with_capacity(rows);
+    let mut returnflag = Vec::with_capacity(rows);
+    let mut linestatus = Vec::with_capacity(rows);
+    let mut shipdate = Vec::with_capacity(rows);
+    let mut shipyear = Vec::with_capacity(rows);
+    let mut shipmonth = Vec::with_capacity(rows);
+    let mut shipinstruct = Vec::with_capacity(rows);
+    let mut shipmode = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        orderkey.push(rng.gen_range(0..orders.max(1) as i64));
+        let qty = rng.gen_range(1.0_f64..51.0).floor();
+        let price: f64 = rng.gen_range(900.0..105_000.0);
+        let disc: f64 = rng.gen_range(0.0..0.11);
+        let tx = (rng.gen_range(0..9) as f64) / 100.0;
+        quantity.push(qty);
+        extprice.push(price);
+        discount.push(disc);
+        tax.push(tx);
+        discprice.push(price * (1.0 - disc));
+        charge.push(price * (1.0 - disc) * (1.0 + tx));
+
+        let day = rng.gen_range(0..DATE_DOMAIN_DAYS);
+        shipdate.push(day);
+        shipyear.push(1992 + day / 365);
+        shipmonth.push((day % 365) / 31 + 1);
+
+        // Return flag / line status follow TPC-H's date-derived skew: items
+        // shipped after the "current date" are (N, O); earlier ones split
+        // between (A, F) and (R, F), and a thin slice is (N, F). This yields
+        // the four Q1 groups with 48/24/24/~0.06 proportions the paper quotes.
+        let frac = day as f64 / DATE_DOMAIN_DAYS as f64;
+        let (rf, ls) = if frac > 0.52 {
+            ("N", "O")
+        } else if frac > 0.515 {
+            ("N", "F")
+        } else if rng.gen_bool(0.5) {
+            ("A", "F")
+        } else {
+            ("R", "F")
+        };
+        returnflag.push(rf.to_string());
+        linestatus.push(ls.to_string());
+        shipinstruct.push(SHIP_INSTRUCTS[rng.gen_range(0..SHIP_INSTRUCTS.len())].to_string());
+        shipmode.push(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].to_string());
+    }
+
+    let schema = Schema::new(vec![
+        Field::new("l_orderkey", DataType::Int),
+        Field::new("l_quantity", DataType::Float),
+        Field::new("l_extendedprice", DataType::Float),
+        Field::new("l_discount", DataType::Float),
+        Field::new("l_tax", DataType::Float),
+        Field::new("l_discprice", DataType::Float),
+        Field::new("l_charge", DataType::Float),
+        Field::new("l_returnflag", DataType::Str),
+        Field::new("l_linestatus", DataType::Str),
+        Field::new("l_shipdate", DataType::Int),
+        Field::new("l_shipyear", DataType::Int),
+        Field::new("l_shipmonth", DataType::Int),
+        Field::new("l_shipinstruct", DataType::Str),
+        Field::new("l_shipmode", DataType::Str),
+    ])
+    .expect("static schema");
+    Relation::from_columns(
+        "lineitem",
+        schema,
+        vec![
+            Column::Int(orderkey),
+            Column::Float(quantity),
+            Column::Float(extprice),
+            Column::Float(discount),
+            Column::Float(tax),
+            Column::Float(discprice),
+            Column::Float(charge),
+            Column::Str(returnflag),
+            Column::Str(linestatus),
+            Column::Int(shipdate),
+            Column::Int(shipyear),
+            Column::Int(shipmonth),
+            Column::Str(shipinstruct),
+            Column::Str(shipmode),
+        ],
+    )
+    .expect("columns match schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small_db() -> Database {
+        TpchSpec {
+            scale_factor: 0.002,
+            seed: 1,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn all_four_relations_present_with_expected_sizes() {
+        let db = small_db();
+        assert_eq!(
+            db.relation_names(),
+            vec!["customer", "lineitem", "nation", "orders"]
+        );
+        assert_eq!(db.relation("nation").unwrap().len(), 25);
+        let spec = TpchSpec {
+            scale_factor: 0.002,
+            seed: 1,
+        };
+        assert_eq!(db.relation("lineitem").unwrap().len(), spec.lineitem_rows());
+        assert_eq!(db.relation("orders").unwrap().len(), spec.orders_rows());
+        assert_eq!(db.relation("customer").unwrap().len(), spec.customer_rows());
+    }
+
+    #[test]
+    fn foreign_keys_reference_existing_primary_keys() {
+        let db = small_db();
+        let orders = db.relation("orders").unwrap();
+        let customers = db.relation("customer").unwrap().len() as i64;
+        assert!(orders
+            .column_by_name("o_custkey")
+            .unwrap()
+            .as_int()
+            .iter()
+            .all(|&k| k < customers));
+        let lineitem = db.relation("lineitem").unwrap();
+        let norders = orders.len() as i64;
+        assert!(lineitem
+            .column_by_name("l_orderkey")
+            .unwrap()
+            .as_int()
+            .iter()
+            .all(|&k| k < norders));
+    }
+
+    #[test]
+    fn q1_groups_are_the_four_tpch_groups() {
+        let db = small_db();
+        let lineitem = db.relation("lineitem").unwrap();
+        let rf = lineitem.column_by_name("l_returnflag").unwrap().as_str();
+        let ls = lineitem.column_by_name("l_linestatus").unwrap().as_str();
+        let groups: HashSet<(String, String)> = rf
+            .iter()
+            .zip(ls)
+            .map(|(a, b)| (a.clone(), b.clone()))
+            .collect();
+        assert_eq!(groups.len(), 4);
+        assert!(groups.contains(&("N".to_string(), "O".to_string())));
+        assert!(groups.contains(&("A".to_string(), "F".to_string())));
+    }
+
+    #[test]
+    fn derived_price_columns_are_consistent() {
+        let db = small_db();
+        let li = db.relation("lineitem").unwrap();
+        let price = li.column_by_name("l_extendedprice").unwrap().as_float();
+        let disc = li.column_by_name("l_discount").unwrap().as_float();
+        let dp = li.column_by_name("l_discprice").unwrap().as_float();
+        for i in 0..100 {
+            assert!((dp[i] - price[i] * (1.0 - disc[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TpchSpec::with_scale(0.001).generate();
+        let b = TpchSpec::with_scale(0.001).generate();
+        assert_eq!(a.relation("lineitem").unwrap(), b.relation("lineitem").unwrap());
+    }
+}

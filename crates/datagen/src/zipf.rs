@@ -1,0 +1,196 @@
+//! Zipfian microbenchmark tables (paper §5 "Data").
+//!
+//! `zipf_{θ,n,g}(id, z, v)`: `z` is an integer drawn from a zipfian
+//! distribution over `g` distinct values with skew `θ`; `v` is a double drawn
+//! uniformly from `[0, 100]`. Tuple widths are deliberately small to stress
+//! worst-case lineage capture overheads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smoke_storage::{Column, DataType, Field, Relation, Schema};
+
+/// Parameters of a zipfian microbenchmark table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfSpec {
+    /// Zipfian skew θ (0 = uniform).
+    pub theta: f64,
+    /// Number of tuples.
+    pub rows: usize,
+    /// Number of distinct `z` values (groups).
+    pub groups: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ZipfSpec {
+    fn default() -> Self {
+        ZipfSpec {
+            theta: 1.0,
+            rows: 10_000,
+            groups: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// A seeded zipfian sampler over `1..=n` values with skew `theta`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler by precomputing the cumulative distribution.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf domain must be non-empty");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in weights.iter_mut() {
+            acc += *w / total;
+            *w = acc;
+        }
+        ZipfSampler { cdf: weights }
+    }
+
+    /// Samples a value in `[1, n]` (1 is the most popular value).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+}
+
+/// Generates the microbenchmark relation `zipf(id, z, v)`.
+pub fn zipf_table(spec: &ZipfSpec) -> Relation {
+    zipf_table_named(spec, "zipf")
+}
+
+/// Generates a zipfian table with a custom relation name (the M:N join
+/// benchmarks use two differently-named instances).
+pub fn zipf_table_named(spec: &ZipfSpec, name: &str) -> Relation {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let sampler = ZipfSampler::new(spec.groups.max(1), spec.theta);
+    let mut ids = Vec::with_capacity(spec.rows);
+    let mut zs = Vec::with_capacity(spec.rows);
+    let mut vs = Vec::with_capacity(spec.rows);
+    for i in 0..spec.rows {
+        ids.push(i as i64);
+        zs.push(sampler.sample(&mut rng) as i64);
+        vs.push(rng.gen_range(0.0..100.0));
+    }
+    let schema = Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("z", DataType::Int),
+        Field::new("v", DataType::Float),
+    ])
+    .expect("static schema");
+    Relation::from_columns(
+        name,
+        schema,
+        vec![Column::Int(ids), Column::Int(zs), Column::Float(vs)],
+    )
+    .expect("columns match schema")
+}
+
+/// Generates the `gids(id, label)` dimension table referenced by the pk-fk
+/// join microbenchmark: one row per distinct group value.
+pub fn gids_table(groups: usize) -> Relation {
+    let ids: Vec<i64> = (1..=groups as i64).collect();
+    let labels: Vec<String> = (1..=groups).map(|g| format!("group_{g}")).collect();
+    let schema = Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("label", DataType::Str),
+    ])
+    .expect("static schema");
+    Relation::from_columns("gids", schema, vec![Column::Int(ids), Column::Str(labels)])
+        .expect("columns match schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn table_has_requested_shape() {
+        let spec = ZipfSpec {
+            rows: 1000,
+            groups: 10,
+            theta: 1.0,
+            seed: 7,
+        };
+        let t = zipf_table(&spec);
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.schema().names(), vec!["id", "z", "v"]);
+        let zs = t.column_by_name("z").unwrap().as_int();
+        assert!(zs.iter().all(|&z| (1..=10).contains(&z)));
+        let vs = t.column_by_name("v").unwrap().as_float();
+        assert!(vs.iter().all(|&v| (0.0..100.0).contains(&v)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = ZipfSpec::default();
+        assert_eq!(zipf_table(&spec), zipf_table(&spec));
+        let other = ZipfSpec { seed: 43, ..spec };
+        assert_ne!(zipf_table(&spec), zipf_table(&other));
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_popular_values() {
+        let skewed = zipf_table(&ZipfSpec {
+            theta: 1.5,
+            rows: 20_000,
+            groups: 100,
+            seed: 1,
+        });
+        let uniform = zipf_table(&ZipfSpec {
+            theta: 0.0,
+            rows: 20_000,
+            groups: 100,
+            seed: 1,
+        });
+        let count_top = |rel: &Relation| {
+            let mut counts: HashMap<i64, usize> = HashMap::new();
+            for &z in rel.column_by_name("z").unwrap().as_int() {
+                *counts.entry(z).or_insert(0) += 1;
+            }
+            *counts.get(&1).unwrap_or(&0)
+        };
+        assert!(count_top(&skewed) > 3 * count_top(&uniform));
+    }
+
+    #[test]
+    fn uniform_covers_all_groups() {
+        let t = zipf_table(&ZipfSpec {
+            theta: 0.0,
+            rows: 5_000,
+            groups: 50,
+            seed: 3,
+        });
+        let distinct: std::collections::HashSet<i64> =
+            t.column_by_name("z").unwrap().as_int().iter().copied().collect();
+        assert_eq!(distinct.len(), 50);
+    }
+
+    #[test]
+    fn gids_is_a_primary_key_table() {
+        let g = gids_table(100);
+        assert_eq!(g.len(), 100);
+        let ids: std::collections::HashSet<i64> =
+            g.column_by_name("id").unwrap().as_int().iter().copied().collect();
+        assert_eq!(ids.len(), 100);
+    }
+
+    #[test]
+    fn sampler_respects_domain_bounds() {
+        let sampler = ZipfSampler::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let s = sampler.sample(&mut rng);
+            assert!((1..=5).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Composition of lineage indexes across operators (multi-operator
+//! propagation, paper §3.3).
+//!
+//! For a two-operator plan `op_p(op_c(R))`, the parent's lineage maps parent
+//! output rids to the *intermediate* relation `op_c(R)`. Composing the
+//! parent's backward index through the child's backward index produces an
+//! index that maps parent output rids directly to rids of the base relation
+//! `R`; the child's indexes can then be garbage collected.
+
+use crate::index::LineageIndex;
+use crate::rid_array::{RidArray, NO_RID};
+use crate::rid_index::RidIndex;
+
+/// Composes a parent backward index (parent-output → intermediate) with a
+/// child backward index (intermediate → base) into a backward index from
+/// parent output rids to base rids.
+pub fn compose_backward(parent: &LineageIndex, child: &LineageIndex) -> LineageIndex {
+    // Identity parent: result is exactly the child's mapping.
+    if let LineageIndex::Identity(_) = parent {
+        return child.clone();
+    }
+    // Identity child: result is exactly the parent's mapping.
+    if let LineageIndex::Identity(_) = child {
+        return parent.clone();
+    }
+
+    let one_to_one = matches!(parent, LineageIndex::Array(_))
+        && matches!(child, LineageIndex::Array(_) | LineageIndex::Identity(_));
+
+    if one_to_one {
+        let mut out = RidArray::with_capacity(parent.len());
+        for pos in 0..parent.len() {
+            match parent.single(pos as u32).and_then(|mid| child.single(mid)) {
+                Some(base) => out.push(base),
+                None => out.push(NO_RID),
+            }
+        }
+        LineageIndex::Array(out)
+    } else {
+        let mut out = RidIndex::with_len(parent.len());
+        for pos in 0..parent.len() {
+            parent.for_each(pos as u32, |mid| {
+                child.for_each(mid, |base| out.append(pos, base));
+            });
+        }
+        LineageIndex::Index(out)
+    }
+}
+
+/// Composes a child forward index (base → intermediate) with a parent forward
+/// index (intermediate → parent output) into a forward index from base rids to
+/// parent output rids.
+///
+/// This is the same composition as [`compose_backward`] with the roles of the
+/// arguments swapped: the traversal starts from base rids.
+pub fn compose_forward(child: &LineageIndex, parent: &LineageIndex) -> LineageIndex {
+    compose_backward(child, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoke_storage::Rid;
+
+    #[test]
+    fn backward_through_selection_then_groupby() {
+        // Child: selection over 6 base rows keeping rids [1,3,5]
+        // (intermediate rid i -> base rid).
+        let child = LineageIndex::Array(RidArray::from_vec(vec![1, 3, 5]));
+        // Parent: group-by over the 3 intermediate rows producing 2 groups.
+        let parent = LineageIndex::Index(RidIndex::from_entries(vec![vec![0, 2], vec![1]]));
+
+        let composed = compose_backward(&parent, &child);
+        assert_eq!(composed.lookup(0), vec![1, 5]);
+        assert_eq!(composed.lookup(1), vec![3]);
+    }
+
+    #[test]
+    fn forward_through_selection_then_groupby() {
+        // Child forward: base rid -> intermediate rid (NO_RID for filtered).
+        let mut fwd = RidArray::filled(6);
+        fwd.set(1, 0);
+        fwd.set(3, 1);
+        fwd.set(5, 2);
+        let child = LineageIndex::Array(fwd);
+        // Parent forward: intermediate rid -> output group.
+        let parent = LineageIndex::Array(RidArray::from_vec(vec![0, 1, 0]));
+
+        let composed = compose_forward(&child, &parent);
+        assert_eq!(composed.lookup(1), vec![0]);
+        assert_eq!(composed.lookup(3), vec![1]);
+        assert_eq!(composed.lookup(5), vec![0]);
+        assert_eq!(composed.lookup(0), Vec::<Rid>::new());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let idx = LineageIndex::Index(RidIndex::from_entries(vec![vec![2, 3], vec![4]]));
+        let through_identity = compose_backward(&idx, &LineageIndex::Identity(10));
+        assert_eq!(through_identity.lookup(0), vec![2, 3]);
+        let identity_first = compose_backward(&LineageIndex::Identity(2), &idx);
+        assert_eq!(identity_first.lookup(1), vec![4]);
+    }
+
+    #[test]
+    fn one_to_one_chain_stays_array() {
+        let child = LineageIndex::Array(RidArray::from_vec(vec![5, 6, 7]));
+        let parent = LineageIndex::Array(RidArray::from_vec(vec![2, 0]));
+        let composed = compose_backward(&parent, &child);
+        assert!(matches!(composed, LineageIndex::Array(_)));
+        assert_eq!(composed.lookup(0), vec![7]);
+        assert_eq!(composed.lookup(1), vec![5]);
+    }
+
+    #[test]
+    fn missing_links_propagate_as_empty() {
+        let mut child = RidArray::filled(3);
+        child.set(0, 9);
+        let child = LineageIndex::Array(child);
+        let parent = LineageIndex::Array(RidArray::from_vec(vec![0, 1]));
+        let composed = compose_backward(&parent, &child);
+        assert_eq!(composed.lookup(0), vec![9]);
+        assert_eq!(composed.lookup(1), Vec::<Rid>::new());
+    }
+}

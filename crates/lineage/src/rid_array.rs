@@ -1,0 +1,223 @@
+//! Rid arrays: the 1-to-1 lineage representation.
+
+use smoke_storage::Rid;
+
+/// Sentinel rid used in forward rid arrays for input rows that produced no
+/// output (e.g. tuples filtered out by a selection).
+pub const NO_RID: Rid = Rid::MAX;
+
+/// Initial capacity of a rid array (paper §3.1, following Facebook folly's
+/// FBVector guidance).
+pub const INITIAL_CAPACITY: usize = 10;
+
+/// Growth factor applied when a rid array overflows its capacity.
+pub const GROWTH_FACTOR: f64 = 1.5;
+
+/// An append-only array of rids with the paper's explicit growth policy.
+///
+/// The array is used both as a standalone index for 1-to-1 relationships
+/// (each entry is an input rid) and as the per-entry payload of a
+/// [`crate::RidIndex`]. Array resizing dominates lineage capture cost in the
+/// paper's experiments, so the structure exposes its resize count and supports
+/// exact pre-allocation when cardinality statistics are available.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RidArray {
+    data: Vec<Rid>,
+    resizes: u32,
+}
+
+impl RidArray {
+    /// Creates an empty rid array. No allocation happens until the first push.
+    pub fn new() -> Self {
+        RidArray {
+            data: Vec::new(),
+            resizes: 0,
+        }
+    }
+
+    /// Creates a rid array with exact pre-allocated capacity (used when
+    /// cardinality statistics are known; avoids all resizes).
+    pub fn with_capacity(capacity: usize) -> Self {
+        RidArray {
+            data: Vec::with_capacity(capacity),
+            resizes: 0,
+        }
+    }
+
+    /// Creates a rid array of length `len` filled with [`NO_RID`], used for
+    /// forward rid arrays that are later filled by position.
+    pub fn filled(len: usize) -> Self {
+        RidArray {
+            data: vec![NO_RID; len],
+            resizes: 0,
+        }
+    }
+
+    /// Creates a rid array from existing rids (test/bench convenience).
+    pub fn from_vec(data: Vec<Rid>) -> Self {
+        RidArray { data, resizes: 0 }
+    }
+
+    /// Appends a rid, growing capacity with the paper's policy (start at 10,
+    /// grow 1.5×) when full.
+    #[inline]
+    pub fn push(&mut self, rid: Rid) {
+        if self.data.len() == self.data.capacity() {
+            let new_cap = if self.data.capacity() == 0 {
+                INITIAL_CAPACITY
+            } else {
+                ((self.data.capacity() as f64 * GROWTH_FACTOR).ceil()) as usize
+            };
+            self.data.reserve_exact(new_cap - self.data.len());
+            self.resizes += 1;
+        }
+        self.data.push(rid);
+    }
+
+    /// Sets the entry at `pos` (the array must already cover `pos`, e.g. via
+    /// [`RidArray::filled`]).
+    #[inline]
+    pub fn set(&mut self, pos: usize, rid: Rid) {
+        self.data[pos] = rid;
+    }
+
+    /// The rid at `pos`.
+    #[inline]
+    pub fn get(&self, pos: usize) -> Rid {
+        self.data[pos]
+    }
+
+    /// The rid at `pos`, or `None` if it is the [`NO_RID`] sentinel or out of
+    /// bounds.
+    #[inline]
+    pub fn get_checked(&self, pos: usize) -> Option<Rid> {
+        match self.data.get(pos) {
+            Some(&r) if r != NO_RID => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of capacity growths that happened during appends.
+    pub fn resizes(&self) -> u32 {
+        self.resizes
+    }
+
+    /// The entries as a slice.
+    pub fn as_slice(&self) -> &[Rid] {
+        &self.data
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = Rid> + '_ {
+        self.data.iter().copied()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<Rid>()
+    }
+
+    /// Consumes the array and returns the underlying vector.
+    pub fn into_vec(self) -> Vec<Rid> {
+        self.data
+    }
+}
+
+impl FromIterator<Rid> for RidArray {
+    fn from_iter<T: IntoIterator<Item = Rid>>(iter: T) -> Self {
+        RidArray {
+            data: iter.into_iter().collect(),
+            resizes: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a RidArray {
+    type Item = Rid;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Rid>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut a = RidArray::new();
+        for i in 0..100 {
+            a.push(i);
+        }
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.get(42), 42);
+        assert_eq!(a.as_slice()[99], 99);
+    }
+
+    #[test]
+    fn growth_policy_counts_resizes() {
+        let mut a = RidArray::new();
+        // First push allocates (1 resize), then every 1.5x overflow counts.
+        for i in 0..1000 {
+            a.push(i);
+        }
+        assert!(a.resizes() > 0);
+
+        // Exact pre-allocation avoids all resizes.
+        let mut b = RidArray::with_capacity(1000);
+        for i in 0..1000 {
+            b.push(i);
+        }
+        assert_eq!(b.resizes(), 0);
+        assert!(a.resizes() > b.resizes());
+    }
+
+    #[test]
+    fn filled_and_set() {
+        let mut a = RidArray::filled(5);
+        assert_eq!(a.get_checked(3), None);
+        a.set(3, 7);
+        assert_eq!(a.get_checked(3), Some(7));
+        assert_eq!(a.get(3), 7);
+        assert_eq!(a.get_checked(99), None);
+    }
+
+    #[test]
+    fn iteration_and_collect() {
+        let a: RidArray = (0..5).collect();
+        let v: Vec<Rid> = a.iter().collect();
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+        assert_eq!((&a).into_iter().sum::<Rid>(), 10);
+        assert_eq!(a.into_vec(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn heap_bytes_tracks_capacity() {
+        let a = RidArray::with_capacity(100);
+        assert_eq!(a.heap_bytes(), 100 * 4);
+        assert!(RidArray::new().heap_bytes() == 0);
+    }
+
+    #[test]
+    fn growth_is_geometric_not_linear() {
+        // With 10 initial slots and 1.5x growth, 10_000 pushes should need
+        // on the order of log_1.5(1000) ≈ 18 resizes, far fewer than 10_000.
+        let mut a = RidArray::new();
+        for i in 0..10_000 {
+            a.push(i);
+        }
+        assert!(a.resizes() < 30, "resizes = {}", a.resizes());
+    }
+}

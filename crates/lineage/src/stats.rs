@@ -1,0 +1,101 @@
+//! Capture statistics: what the paper's overhead figures measure.
+
+use std::time::Duration;
+
+/// Statistics collected while capturing lineage for one operator or query.
+///
+/// The paper's central measurements are (a) the base-query latency with and
+/// without capture, and (b) where the overhead goes (rid-array resizes being
+/// the dominant cost). `CaptureStats` carries both so the benchmark harness
+/// can report the same breakdowns.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CaptureStats {
+    /// Wall-clock time spent executing the (instrumented) base query.
+    pub base_query: Duration,
+    /// Wall-clock time spent in deferred lineage construction (Defer plans);
+    /// zero for Inject plans.
+    pub deferred: Duration,
+    /// Number of rid-array capacity growths triggered during capture.
+    pub rid_resizes: u64,
+    /// Number of lineage edges written.
+    pub edges: u64,
+    /// Approximate bytes of lineage index storage produced.
+    pub lineage_bytes: u64,
+}
+
+impl CaptureStats {
+    /// Total capture-side latency: base query plus any deferred work.
+    pub fn total(&self) -> Duration {
+        self.base_query + self.deferred
+    }
+
+    /// Relative overhead of this run versus an uninstrumented baseline
+    /// latency, as a ratio (e.g. `0.7` means the instrumented run was 1.7×
+    /// the baseline). Returns `f64::INFINITY` for a zero baseline.
+    pub fn relative_overhead(&self, baseline: Duration) -> f64 {
+        if baseline.is_zero() {
+            return f64::INFINITY;
+        }
+        (self.total().as_secs_f64() - baseline.as_secs_f64()) / baseline.as_secs_f64()
+    }
+
+    /// Merges another stats record into this one (used when aggregating
+    /// per-operator stats into query-level stats).
+    pub fn merge(&mut self, other: &CaptureStats) {
+        self.base_query += other.base_query;
+        self.deferred += other.deferred;
+        self.rid_resizes += other.rid_resizes;
+        self.edges += other.edges;
+        self.lineage_bytes += other.lineage_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_overhead() {
+        let stats = CaptureStats {
+            base_query: Duration::from_millis(150),
+            deferred: Duration::from_millis(50),
+            ..Default::default()
+        };
+        assert_eq!(stats.total(), Duration::from_millis(200));
+        let overhead = stats.relative_overhead(Duration::from_millis(100));
+        assert!((overhead - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baseline_is_infinite_overhead() {
+        let stats = CaptureStats {
+            base_query: Duration::from_millis(10),
+            ..Default::default()
+        };
+        assert!(stats.relative_overhead(Duration::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CaptureStats {
+            base_query: Duration::from_millis(10),
+            rid_resizes: 3,
+            edges: 100,
+            lineage_bytes: 400,
+            ..Default::default()
+        };
+        let b = CaptureStats {
+            base_query: Duration::from_millis(5),
+            deferred: Duration::from_millis(2),
+            rid_resizes: 1,
+            edges: 50,
+            lineage_bytes: 200,
+        };
+        a.merge(&b);
+        assert_eq!(a.base_query, Duration::from_millis(15));
+        assert_eq!(a.deferred, Duration::from_millis(2));
+        assert_eq!(a.rid_resizes, 4);
+        assert_eq!(a.edges, 150);
+        assert_eq!(a.lineage_bytes, 600);
+    }
+}

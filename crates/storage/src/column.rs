@@ -1,0 +1,203 @@
+//! Typed column storage.
+
+use crate::{DataType, Result, StorageError, Value};
+
+/// A single column of a relation, stored as a typed vector.
+///
+/// Columns are append-only during relation construction and immutable once the
+/// relation is built; lineage indexes reference rows by rid so stable rids are
+/// essential.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Column {
+    /// 64-bit integer column.
+    Int(Vec<i64>),
+    /// 64-bit float column.
+    Float(Vec<f64>),
+    /// UTF-8 string column.
+    Str(Vec<String>),
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    pub fn new(data_type: DataType) -> Self {
+        match data_type {
+            DataType::Int => Column::Int(Vec::new()),
+            DataType::Float => Column::Float(Vec::new()),
+            DataType::Str => Column::Str(Vec::new()),
+        }
+    }
+
+    /// Creates an empty column with pre-allocated capacity.
+    pub fn with_capacity(data_type: DataType, capacity: usize) -> Self {
+        match data_type {
+            DataType::Int => Column::Int(Vec::with_capacity(capacity)),
+            DataType::Float => Column::Float(Vec::with_capacity(capacity)),
+            DataType::Str => Column::Str(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// The data type stored in this column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(v) => v.len(),
+        }
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a value, checking its type against the column type.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        match (self, value) {
+            (Column::Int(v), Value::Int(x)) => v.push(x),
+            (Column::Float(v), Value::Float(x)) => v.push(x),
+            (Column::Float(v), Value::Int(x)) => v.push(x as f64),
+            (Column::Str(v), Value::Str(x)) => v.push(x),
+            (col, value) => {
+                return Err(StorageError::TypeMismatch {
+                    column: "<column>".to_string(),
+                    expected: col.data_type(),
+                    actual: value.data_type(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the value at `rid` as a dynamically-typed [`Value`].
+    pub fn value(&self, rid: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[rid]),
+            Column::Float(v) => Value::Float(v[rid]),
+            Column::Str(v) => Value::Str(v[rid].clone()),
+        }
+    }
+
+    /// Typed accessor for integer columns (panics on type mismatch).
+    pub fn as_int(&self) -> &[i64] {
+        match self {
+            Column::Int(v) => v,
+            other => panic!("expected INT column, found {}", other.data_type()),
+        }
+    }
+
+    /// Typed accessor for float columns (panics on type mismatch).
+    pub fn as_float(&self) -> &[f64] {
+        match self {
+            Column::Float(v) => v,
+            other => panic!("expected FLOAT column, found {}", other.data_type()),
+        }
+    }
+
+    /// Typed accessor for string columns (panics on type mismatch).
+    pub fn as_str(&self) -> &[String] {
+        match self {
+            Column::Str(v) => v,
+            other => panic!("expected STRING column, found {}", other.data_type()),
+        }
+    }
+
+    /// Numeric view of the value at `rid`, coercing integers to floats.
+    /// Returns `None` for string columns.
+    pub fn numeric(&self, rid: usize) -> Option<f64> {
+        match self {
+            Column::Int(v) => Some(v[rid] as f64),
+            Column::Float(v) => Some(v[rid]),
+            Column::Str(_) => None,
+        }
+    }
+
+    /// Approximate heap size in bytes (used to report lineage/annotation
+    /// storage overheads in the benchmarks).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len() * std::mem::size_of::<i64>(),
+            Column::Float(v) => v.len() * std::mem::size_of::<f64>(),
+            Column::Str(v) => v
+                .iter()
+                .map(|s| s.capacity() + std::mem::size_of::<String>())
+                .sum(),
+        }
+    }
+
+    /// Builds a new column containing only the rows in `rids`, in order.
+    pub fn gather(&self, rids: &[crate::Rid]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(rids.iter().map(|&r| v[r as usize]).collect()),
+            Column::Float(v) => Column::Float(rids.iter().map(|&r| v[r as usize]).collect()),
+            Column::Str(v) => Column::Str(rids.iter().map(|&r| v[r as usize].clone()).collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut c = Column::new(DataType::Int);
+        c.push(Value::Int(3)).unwrap();
+        c.push(Value::Int(5)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.value(1), Value::Int(5));
+        assert_eq!(c.as_int(), &[3, 5]);
+    }
+
+    #[test]
+    fn int_coerces_into_float_column() {
+        let mut c = Column::new(DataType::Float);
+        c.push(Value::Int(3)).unwrap();
+        c.push(Value::Float(0.5)).unwrap();
+        assert_eq!(c.as_float(), &[3.0, 0.5]);
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let mut c = Column::new(DataType::Int);
+        let err = c.push(Value::Str("x".into()));
+        assert!(matches!(err, Err(StorageError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn gather_reorders_rows() {
+        let c = Column::Str(vec!["a".into(), "b".into(), "c".into()]);
+        let g = c.gather(&[2, 0]);
+        assert_eq!(g.as_str(), &["c".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn numeric_view() {
+        let c = Column::Int(vec![4]);
+        assert_eq!(c.numeric(0), Some(4.0));
+        let c = Column::Str(vec!["x".into()]);
+        assert_eq!(c.numeric(0), None);
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_rows() {
+        let small = Column::Int(vec![1, 2]);
+        let big = Column::Int(vec![1, 2, 3, 4, 5, 6]);
+        assert!(big.heap_bytes() > small.heap_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected INT column")]
+    fn typed_accessor_panics_on_mismatch() {
+        let c = Column::Float(vec![1.0]);
+        let _ = c.as_int();
+    }
+}

@@ -1,0 +1,216 @@
+//! Minimal CSV import/export for relations.
+//!
+//! The paper's real-world datasets (Ontime, Physician Compare) ship as CSV
+//! files; this module lets a user load such files into rid-addressable
+//! relations (and write results back out) without further dependencies. The
+//! dialect is deliberately simple: comma-separated, one header row, optional
+//! double-quote quoting with `""` escapes.
+
+use std::io::{BufRead, Write};
+
+use crate::{Column, DataType, Field, Relation, Result, Schema, StorageError, Value};
+
+/// Parses one CSV record, honoring double-quoted fields.
+fn parse_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    current.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut current));
+            }
+            c => current.push(c),
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Infers a column type from sampled textual values: `Int` if every non-empty
+/// value parses as an integer, else `Float` if every value parses as a float,
+/// else `Str`.
+pub fn infer_type<'a>(values: impl Iterator<Item = &'a str>) -> DataType {
+    let mut seen_any = false;
+    let mut all_int = true;
+    let mut all_float = true;
+    for v in values {
+        if v.is_empty() {
+            continue;
+        }
+        seen_any = true;
+        if v.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if v.parse::<f64>().is_err() {
+            all_float = false;
+        }
+    }
+    match (seen_any, all_int, all_float) {
+        (false, _, _) => DataType::Str,
+        (_, true, _) => DataType::Int,
+        (_, _, true) => DataType::Float,
+        _ => DataType::Str,
+    }
+}
+
+/// Reads a relation from CSV text with a header row, inferring column types
+/// from the first `sample` data rows.
+pub fn read_csv(name: &str, reader: impl BufRead, sample: usize) -> Result<Relation> {
+    let mut lines = Vec::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| StorageError::RaggedColumns {
+            relation: format!("{name}: io error: {e}"),
+        })?;
+        if !line.trim().is_empty() {
+            lines.push(line);
+        }
+    }
+    if lines.is_empty() {
+        return Relation::from_columns(name, Schema::empty(), Vec::new());
+    }
+    let header = parse_record(&lines[0]);
+    let records: Vec<Vec<String>> = lines[1..].iter().map(|l| parse_record(l)).collect();
+    for rec in &records {
+        if rec.len() != header.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: header.len(),
+                actual: rec.len(),
+            });
+        }
+    }
+
+    let types: Vec<DataType> = (0..header.len())
+        .map(|c| infer_type(records.iter().take(sample.max(1)).map(|r| r[c].as_str())))
+        .collect();
+
+    let fields: Vec<Field> = header
+        .iter()
+        .zip(&types)
+        .map(|(name, dt)| Field::new(name.clone(), *dt))
+        .collect();
+    let schema = Schema::new(fields)?;
+
+    let mut columns: Vec<Column> = types
+        .iter()
+        .map(|dt| Column::with_capacity(*dt, records.len()))
+        .collect();
+    for rec in &records {
+        for (c, raw) in rec.iter().enumerate() {
+            let value = match types[c] {
+                DataType::Int => Value::Int(raw.parse::<i64>().unwrap_or_default()),
+                DataType::Float => Value::Float(raw.parse::<f64>().unwrap_or_default()),
+                DataType::Str => Value::Str(raw.clone()),
+            };
+            columns[c].push(value)?;
+        }
+    }
+    Relation::from_columns(name, schema, columns)
+}
+
+/// Reads a relation from a CSV string.
+pub fn read_csv_str(name: &str, text: &str) -> Result<Relation> {
+    read_csv(name, std::io::BufReader::new(text.as_bytes()), 100)
+}
+
+/// Writes a relation as CSV (header row plus one record per tuple).
+pub fn write_csv(relation: &Relation, mut writer: impl Write) -> std::io::Result<()> {
+    let header: Vec<String> = relation
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| escape(&f.name))
+        .collect();
+    writeln!(writer, "{}", header.join(","))?;
+    for rid in 0..relation.len() {
+        let record: Vec<String> = (0..relation.schema().arity())
+            .map(|c| escape(&relation.value(rid, c).to_string()))
+            .collect();
+        writeln!(writer, "{}", record.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes a relation to a CSV string.
+pub fn write_csv_string(relation: &Relation) -> String {
+    let mut out = Vec::new();
+    write_csv(relation, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("CSV output is valid UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+id,name,score
+1,alice,3.5
+2,\"bob, the builder\",4.0
+3,carol,2.25
+";
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let rel = read_csv_str("people", SAMPLE).unwrap();
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.schema().names(), vec!["id", "name", "score"]);
+        assert_eq!(rel.schema().field(0).data_type, DataType::Int);
+        assert_eq!(rel.schema().field(1).data_type, DataType::Str);
+        assert_eq!(rel.schema().field(2).data_type, DataType::Float);
+        assert_eq!(rel.value(1, 1), Value::Str("bob, the builder".into()));
+
+        let text = write_csv_string(&rel);
+        let again = read_csv_str("people", &text).unwrap();
+        assert_eq!(again.len(), 3);
+        assert_eq!(again.value(1, 1), rel.value(1, 1));
+        assert_eq!(again.value(2, 2), Value::Float(2.25));
+    }
+
+    #[test]
+    fn quoting_and_escapes() {
+        assert_eq!(parse_record("a,\"b,c\",d"), vec!["a", "b,c", "d"]);
+        assert_eq!(parse_record("\"he said \"\"hi\"\"\",x"), vec!["he said \"hi\"", "x"]);
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn type_inference() {
+        assert_eq!(infer_type(["1", "2", "3"].into_iter()), DataType::Int);
+        assert_eq!(infer_type(["1.5", "2"].into_iter()), DataType::Float);
+        assert_eq!(infer_type(["1", "x"].into_iter()), DataType::Str);
+        assert_eq!(infer_type([].into_iter()), DataType::Str);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let bad = "a,b\n1,2\n3\n";
+        assert!(read_csv_str("t", bad).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_relation() {
+        let rel = read_csv_str("t", "").unwrap();
+        assert!(rel.is_empty());
+        assert_eq!(rel.schema().arity(), 0);
+    }
+}

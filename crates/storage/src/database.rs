@@ -1,0 +1,132 @@
+//! A named catalog of relations.
+
+use std::collections::BTreeMap;
+
+use crate::{Relation, Result, StorageError};
+
+/// A simple in-memory catalog mapping relation names to [`Relation`]s.
+///
+/// Base queries read base relations from a `Database`; derived outputs (views)
+/// can be registered back so that lineage-consuming queries can treat them as
+/// base queries in turn (paper §2.1).
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Registers a relation under its own name. Fails on duplicates.
+    pub fn register(&mut self, relation: Relation) -> Result<()> {
+        let name = relation.name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(StorageError::DuplicateRelation(name));
+        }
+        self.relations.insert(name, relation);
+        Ok(())
+    }
+
+    /// Registers or replaces a relation under its own name.
+    pub fn register_or_replace(&mut self, relation: Relation) {
+        self.relations
+            .insert(relation.name().to_string(), relation);
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Whether a relation with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Names of all registered relations, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Removes a relation from the catalog, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Total approximate heap footprint of all relations, in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.relations.values().map(Relation::heap_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, Value};
+
+    fn rel(name: &str) -> Relation {
+        Relation::builder(name)
+            .column("x", DataType::Int)
+            .row(vec![Value::Int(1)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut db = Database::new();
+        db.register(rel("a")).unwrap();
+        db.register(rel("b")).unwrap();
+        assert!(db.contains("a"));
+        assert_eq!(db.relation("b").unwrap().len(), 1);
+        assert_eq!(db.relation_names(), vec!["a", "b"]);
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut db = Database::new();
+        db.register(rel("a")).unwrap();
+        assert!(matches!(
+            db.register(rel("a")),
+            Err(StorageError::DuplicateRelation(_))
+        ));
+        // register_or_replace always succeeds.
+        db.register_or_replace(rel("a"));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn missing_relation_errors() {
+        let db = Database::new();
+        assert!(matches!(
+            db.relation("nope"),
+            Err(StorageError::UnknownRelation(_))
+        ));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn remove_returns_relation() {
+        let mut db = Database::new();
+        db.register(rel("a")).unwrap();
+        let removed = db.remove("a").unwrap();
+        assert_eq!(removed.name(), "a");
+        assert!(db.remove("a").is_none());
+    }
+}

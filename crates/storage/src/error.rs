@@ -1,0 +1,106 @@
+//! Storage error types.
+
+use std::fmt;
+
+use crate::DataType;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn {
+        /// Name of the missing column.
+        column: String,
+        /// Relation in which the lookup happened.
+        relation: String,
+    },
+    /// A referenced relation does not exist in the catalog.
+    UnknownRelation(String),
+    /// A value of the wrong type was appended to a column.
+    TypeMismatch {
+        /// Column that rejected the value.
+        column: String,
+        /// Declared column type.
+        expected: DataType,
+        /// Type of the offending value.
+        actual: DataType,
+    },
+    /// A row had a different arity than the schema.
+    ArityMismatch {
+        /// Number of fields in the schema.
+        expected: usize,
+        /// Number of values provided.
+        actual: usize,
+    },
+    /// Columns of a relation have inconsistent lengths.
+    RaggedColumns {
+        /// Relation name.
+        relation: String,
+    },
+    /// A relation with the same name already exists in the catalog.
+    DuplicateRelation(String),
+    /// A duplicate column name was declared in a schema.
+    DuplicateColumn(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownColumn { column, relation } => {
+                write!(f, "unknown column `{column}` in relation `{relation}`")
+            }
+            StorageError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch for column `{column}`: expected {expected}, got {actual}"
+            ),
+            StorageError::ArityMismatch { expected, actual } => {
+                write!(f, "row arity mismatch: expected {expected}, got {actual}")
+            }
+            StorageError::RaggedColumns { relation } => {
+                write!(f, "columns of relation `{relation}` have inconsistent lengths")
+            }
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` already exists")
+            }
+            StorageError::DuplicateColumn(name) => {
+                write!(f, "duplicate column `{name}` in schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = StorageError::UnknownColumn {
+            column: "z".into(),
+            relation: "zipf".into(),
+        };
+        assert!(err.to_string().contains("z"));
+        assert!(err.to_string().contains("zipf"));
+
+        let err = StorageError::TypeMismatch {
+            column: "v".into(),
+            expected: DataType::Float,
+            actual: DataType::Str,
+        };
+        assert!(err.to_string().contains("FLOAT"));
+        assert!(err.to_string().contains("STRING"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&StorageError::UnknownRelation("x".into()));
+    }
+}

@@ -1,0 +1,70 @@
+//! Linked brushing between two visualization views (the paper's Figure 1).
+//!
+//! Two views are computed over the same input table: `V1` is a scatter plot
+//! of price vs. revenue (a filtered selection) and `V2` is a bar chart of
+//! profit per product (an aggregation). Selecting marks in `V1` highlights
+//! the bars in `V2` that share input records — a backward lineage query
+//! followed by a forward lineage query.
+//!
+//! Run with `cargo run --example linked_brushing`.
+
+use smoke::apps::brushing::LinkedViews;
+use smoke::prelude::*;
+
+fn main() -> smoke::core::Result<()> {
+    // The shared input relation X(product, price, revenue, profit).
+    let mut x = Relation::builder("X")
+        .column("product", DataType::Str)
+        .column("price", DataType::Float)
+        .column("revenue", DataType::Float)
+        .column("profit", DataType::Float);
+    let rows = [
+        ("widget", 10.0, 100.0, 20.0),
+        ("widget", 12.0, 80.0, 10.0),
+        ("gadget", 50.0, 500.0, 200.0),
+        ("gadget", 55.0, 450.0, 150.0),
+        ("doohickey", 5.0, 20.0, 1.0),
+        ("doohickey", 6.0, 25.0, 2.0),
+    ];
+    for (p, price, rev, prof) in rows {
+        x = x.row(vec![
+            Value::Str(p.into()),
+            Value::Float(price),
+            Value::Float(rev),
+            Value::Float(prof),
+        ]);
+    }
+    let mut db = Database::new();
+    db.register(x.build().unwrap()).unwrap();
+
+    // V1: points with price > 8 (scatter of price vs revenue).
+    let v1 = PlanBuilder::scan("X")
+        .select(Expr::col("price").gt(Expr::lit(8.0)))
+        .build();
+    // V2: profit per product (bar chart).
+    let v2 = PlanBuilder::scan("X")
+        .group_by(&["product"], vec![AggExpr::sum("profit", "total_profit")])
+        .build();
+
+    let linked = LinkedViews::build(&db, &v1, &v2, "X")?;
+    println!("V1 has {} marks, V2 has {} bars", linked.v1.relation.len(), linked.v2.relation.len());
+
+    // The user brushes the first two points of V1 (both "widget" rows).
+    let highlighted = linked.brush(&[0, 1]);
+    println!("brushing V1 marks [0, 1] highlights V2 bars {highlighted:?}:");
+    for &bar in &highlighted {
+        println!("  {:?}", linked.v2.relation.row_values(bar as usize));
+    }
+    assert_eq!(highlighted.len(), 1);
+
+    // And the reverse direction: selecting the "gadget" bar in V2 highlights
+    // the gadget points in V1.
+    let gadget = linked
+        .v2
+        .find_output(|row| row[0] == Value::Str("gadget".into()))
+        .unwrap();
+    let marks = linked.brush_reverse(&[gadget]);
+    println!("brushing the gadget bar highlights V1 marks {marks:?}");
+    assert_eq!(marks.len(), 2);
+    Ok(())
+}

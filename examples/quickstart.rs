@@ -1,0 +1,71 @@
+//! Quickstart: build a small database, run an instrumented aggregation, and
+//! ask backward / forward lineage questions.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use smoke::prelude::*;
+
+fn main() -> smoke::core::Result<()> {
+    // 1. Build a tiny sales table and register it in a catalog.
+    let sales = Relation::builder("sales")
+        .column("region", DataType::Str)
+        .column("product", DataType::Str)
+        .column("amount", DataType::Float)
+        .row(vec!["east".into(), "widget".into(), Value::Float(10.0)])
+        .row(vec!["west".into(), "widget".into(), Value::Float(25.0)])
+        .row(vec!["east".into(), "gadget".into(), Value::Float(40.0)])
+        .row(vec!["east".into(), "widget".into(), Value::Float(5.0)])
+        .row(vec!["west".into(), "gadget".into(), Value::Float(30.0)])
+        .build()
+        .unwrap();
+    let mut db = Database::new();
+    db.register(sales).unwrap();
+
+    // 2. Express the base query: revenue per region.
+    let plan = PlanBuilder::scan("sales")
+        .group_by(
+            &["region"],
+            vec![AggExpr::sum("amount", "revenue"), AggExpr::count("orders")],
+        )
+        .build();
+
+    // 3. Execute with Inject instrumentation (Smoke-I): the output *and* the
+    //    lineage indexes are produced in one pass.
+    let result = Executor::new(CaptureMode::Inject).execute(&plan, &db)?;
+    println!("revenue per region:");
+    for rid in 0..result.relation.len() {
+        let row = result.relation.row_values(rid);
+        println!("  {:?}", row);
+    }
+
+    // 4. Backward lineage: which input records produced the "east" bar?
+    let east = result
+        .find_output(|row| row[0] == Value::Str("east".into()))
+        .expect("east group exists");
+    let east_inputs = result.lineage.backward(&[east], "sales");
+    println!("backward lineage of the east group: rids {east_inputs:?}");
+    assert_eq!(east_inputs, vec![0, 2, 3]);
+
+    // 5. Forward lineage: which output bar does sales rid 4 contribute to?
+    let touched = result.lineage.forward(&[4], "sales");
+    println!("forward lineage of sales rid 4: output rids {touched:?}");
+    assert_eq!(
+        result.relation.value(touched[0] as usize, 0),
+        Value::Str("west".into())
+    );
+
+    // 6. A lineage-consuming query: revenue of the east group broken down by
+    //    product, evaluated as an index scan over the lineage subset.
+    let db_sales = db.relation("sales").unwrap();
+    let drill = smoke::core::query::consume_aggregate(
+        db_sales,
+        &east_inputs,
+        &["product".to_string()],
+        &[AggExpr::sum("amount", "revenue")],
+    )?;
+    println!("east region revenue by product:");
+    for rid in 0..drill.len() {
+        println!("  {:?}", drill.row_values(rid));
+    }
+    Ok(())
+}

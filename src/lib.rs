@@ -1,0 +1,62 @@
+//! # Smoke
+//!
+//! A from-scratch Rust reproduction of **"Smoke: Fine-grained Lineage at
+//! Interactive Speed"** (Psallidas & Wu, VLDB 2018): an in-memory query engine
+//! that tightly integrates fine-grained lineage capture into its physical
+//! operators and exploits knowledge of future lineage-consuming queries to
+//! answer them at interactive latencies.
+//!
+//! This crate is a facade that re-exports the workspace crates:
+//!
+//! * [`storage`] — rid-addressable in-memory relations ([`smoke_storage`]);
+//! * [`lineage`] — rid arrays / rid indexes / partitioned indexes
+//!   ([`smoke_lineage`]);
+//! * [`core`] — the lineage-instrumented query engine, baselines, and
+//!   workload-aware optimizations ([`smoke_core`]);
+//! * [`datagen`] — synthetic workload generators ([`smoke_datagen`]);
+//! * [`apps`] — crossfilter and data-profiling applications built on lineage
+//!   ([`smoke_apps`]).
+//!
+//! ```
+//! use smoke::prelude::*;
+//!
+//! // Build a tiny relation, run an instrumented group-by, and trace lineage.
+//! let rel = Relation::builder("sales")
+//!     .column("region", DataType::Str)
+//!     .column("amount", DataType::Float)
+//!     .row(vec![Value::Str("east".into()), Value::Float(10.0)])
+//!     .row(vec![Value::Str("west".into()), Value::Float(20.0)])
+//!     .row(vec![Value::Str("east".into()), Value::Float(5.0)])
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut db = Database::new();
+//! db.register(rel).unwrap();
+//!
+//! let plan = PlanBuilder::scan("sales")
+//!     .group_by(&["region"], vec![AggExpr::sum("amount", "total")])
+//!     .build();
+//! let result = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+//!
+//! // Backward lineage of the "east" group returns base rids 0 and 2.
+//! let east = result.find_output(|row| row[0] == Value::Str("east".into())).unwrap();
+//! assert_eq!(result.lineage.backward(&[east], "sales"), vec![0, 2]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use smoke_apps as apps;
+pub use smoke_core as core;
+pub use smoke_datagen as datagen;
+pub use smoke_lineage as lineage;
+pub use smoke_storage as storage;
+
+/// Commonly-used types, re-exported for convenience.
+pub mod prelude {
+    pub use smoke_core::{
+        AggExpr, AggFunc, CaptureConfig, CaptureMode, Executor, Expr, LogicalPlan, PlanBuilder,
+        QueryOutput,
+    };
+    pub use smoke_lineage::{LineageIndex, QueryLineage, Rid, RidArray, RidIndex};
+    pub use smoke_storage::{Column, DataType, Database, Field, Relation, Schema, Value};
+}

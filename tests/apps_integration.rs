@@ -1,0 +1,198 @@
+//! Integration tests for the application layer: crossfilter sessions, data
+//! profiling, provenance semantics, and the baseline capture techniques, all
+//! running over the synthetic datasets.
+
+use proptest::prelude::*;
+use smoke::apps::crossfilter::{normalized_counts, CrossfilterSession, CrossfilterTechnique};
+use smoke::apps::profiling::{check_fd, reference_violations, ProfilingTechnique};
+use smoke::core::baselines::logical::{run_logical, LogicalTechnique};
+use smoke::core::microbenchmark_aggs;
+use smoke::datagen::ontime::{view_dimensions, OntimeSpec};
+use smoke::datagen::physician::{paper_fds, PhysicianSpec};
+use smoke::datagen::zipf::{zipf_table, ZipfSpec};
+use smoke::lineage::semantics::{how_provenance, which_provenance, why_provenance};
+use smoke::prelude::*;
+
+#[test]
+fn crossfilter_techniques_agree_over_the_ontime_data() {
+    let base = OntimeSpec {
+        rows: 4_000,
+        seed: 29,
+    }
+    .generate();
+    let dims = view_dimensions();
+    let sessions: Vec<CrossfilterSession> = [
+        CrossfilterTechnique::Lazy,
+        CrossfilterTechnique::BackwardTrace,
+        CrossfilterTechnique::BackwardForwardTrace,
+        CrossfilterTechnique::PartialCube,
+    ]
+    .into_iter()
+    .map(|t| CrossfilterSession::build(base.clone(), &dims, t).unwrap())
+    .collect();
+
+    // Brush a few bars of the delay and carrier views and compare all
+    // refreshed views across techniques.
+    for (view, bar) in [(2usize, 0u32), (2, 3), (3, 1)] {
+        let reference: Vec<_> = sessions[0]
+            .interact(view, bar)
+            .unwrap()
+            .iter()
+            .map(normalized_counts)
+            .collect();
+        for session in &sessions[1..] {
+            let got: Vec<_> = session
+                .interact(view, bar)
+                .unwrap()
+                .iter()
+                .map(normalized_counts)
+                .collect();
+            assert_eq!(got, reference, "technique {:?}", session.technique());
+        }
+    }
+}
+
+#[test]
+fn profiling_techniques_agree_with_reference_counts() {
+    let table = PhysicianSpec {
+        rows: 6_000,
+        practices: 300,
+        violation_rate: 0.04,
+        seed: 31,
+    }
+    .generate();
+    for fd in paper_fds() {
+        let expected = reference_violations(&table, &fd);
+        for technique in [
+            ProfilingTechnique::SmokeCd,
+            ProfilingTechnique::SmokeUg,
+            ProfilingTechnique::MetanomeUg,
+        ] {
+            let report = check_fd(&table, &fd, technique).unwrap();
+            assert_eq!(report.violations, expected, "{fd:?} / {technique:?}");
+            // The bipartite graph covers exactly the tuples with violating
+            // LHS values.
+            let lhs = table.column_by_name(&fd.lhs).unwrap();
+            for v in &report.violations {
+                let expected_tuples = (0..table.len())
+                    .filter(|&rid| &lhs.value(rid).group_key() == v)
+                    .count();
+                assert_eq!(report.bipartite[v].len(), expected_tuples);
+            }
+        }
+    }
+}
+
+#[test]
+fn logical_baseline_agrees_with_smoke_on_microbenchmark_data() {
+    let table = zipf_table(&ZipfSpec {
+        theta: 1.0,
+        rows: 5_000,
+        groups: 50,
+        seed: 2,
+    });
+    let mut db = Database::new();
+    db.register(table).unwrap();
+    let plan = PlanBuilder::scan("zipf")
+        .group_by(&["z"], microbenchmark_aggs("v"))
+        .build();
+
+    let smoke = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+    let (capture, lineage) = run_logical(&plan, &db, LogicalTechnique::LogicIdx).unwrap();
+    let lineage = lineage.unwrap();
+    assert_eq!(capture.output, smoke.relation);
+    for o in 0..smoke.relation.len() as u32 {
+        let mut a = smoke.lineage.backward(&[o], "zipf");
+        let mut b = lineage.backward(&[o], "zipf");
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+    // The denormalized annotated relation has one row per input tuple — the
+    // duplication the paper attributes the logical approaches' cost to.
+    assert_eq!(capture.annotated.len(), 5_000);
+}
+
+#[test]
+fn provenance_semantics_derived_from_join_lineage() {
+    // Appendix E example: customers ⋈ orders grouped by customer.
+    let mut customers = Relation::builder("customers")
+        .column("cid", DataType::Int)
+        .column("cname", DataType::Str);
+    for (i, name) in ["Bob", "Alice"].iter().enumerate() {
+        customers = customers.row(vec![Value::Int(i as i64 + 1), Value::Str((*name).into())]);
+    }
+    let mut orders = Relation::builder("orders")
+        .column("ocid", DataType::Int)
+        .column("pname", DataType::Str);
+    for (cid, p) in [(1, "iPhone"), (1, "iPhone"), (2, "XBox")] {
+        orders = orders.row(vec![Value::Int(cid), Value::Str(p.into())]);
+    }
+    let mut db = Database::new();
+    db.register(customers.build().unwrap()).unwrap();
+    db.register(orders.build().unwrap()).unwrap();
+
+    let plan = PlanBuilder::scan("customers")
+        .join(PlanBuilder::scan("orders"), &["cid"], &["ocid"])
+        .group_by(&["cname", "pname"], vec![AggExpr::count("cnt")])
+        .build();
+    let out = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+    let bob = out
+        .find_output(|row| row[0] == Value::Str("Bob".into()))
+        .unwrap();
+
+    // Positionally-aligned backward lineage per relation.
+    let cust_lin = out.lineage.table("customers").unwrap().backward().lookup(bob);
+    let ord_lin = out.lineage.table("orders").unwrap().backward().lookup(bob);
+    assert_eq!(cust_lin, vec![0, 0]);
+    assert_eq!(ord_lin, vec![0, 1]);
+
+    let backward = vec![cust_lin, ord_lin];
+    assert_eq!(which_provenance(&backward), vec![vec![0], vec![0, 1]]);
+    assert_eq!(why_provenance(&backward), vec![vec![0, 0], vec![0, 1]]);
+    assert_eq!(how_provenance(&backward, &["c", "o"]), "c0·o0 + c0·o1");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: crossfilter BT+FT refreshes always agree with the Lazy
+    /// shared-scan refresh on random small datasets.
+    #[test]
+    fn prop_crossfilter_btft_matches_lazy(
+        rows in 200usize..800,
+        seed in 0u64..50,
+        bar in 0u32..4,
+    ) {
+        let base = OntimeSpec { rows, seed }.generate();
+        let dims = vec!["delay_bin", "carrier"];
+        let lazy = CrossfilterSession::build(base.clone(), &dims, CrossfilterTechnique::Lazy).unwrap();
+        let btft = CrossfilterSession::build(base, &dims, CrossfilterTechnique::BackwardForwardTrace).unwrap();
+        let bars = lazy.views()[0].bars() as u32;
+        let bar = bar % bars;
+        let a: Vec<_> = lazy.interact(0, bar).unwrap().iter().map(normalized_counts).collect();
+        let b: Vec<_> = btft.interact(0, bar).unwrap().iter().map(normalized_counts).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Property: FD checking over random tables agrees between Smoke-CD and
+    /// the reference hash-map implementation.
+    #[test]
+    fn prop_fd_checking_matches_reference(
+        pairs in prop::collection::vec((0i64..15, 0i64..5), 1..300),
+    ) {
+        let mut builder = Relation::builder("t")
+            .column("a", DataType::Int)
+            .column("b", DataType::Int);
+        for (a, b) in &pairs {
+            builder = builder.row(vec![Value::Int(*a), Value::Int(*b)]);
+        }
+        let table = builder.build().unwrap();
+        let fd = smoke::datagen::physician::FunctionalDependency::new("a", "b");
+        let expected = reference_violations(&table, &fd);
+        for technique in [ProfilingTechnique::SmokeCd, ProfilingTechnique::SmokeUg] {
+            let report = check_fd(&table, &fd, technique).unwrap();
+            prop_assert_eq!(&report.violations, &expected);
+        }
+    }
+}

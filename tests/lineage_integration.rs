@@ -1,0 +1,238 @@
+//! Integration tests spanning storage → lineage → engine: end-to-end lineage
+//! correctness on multi-operator plans, equivalence of the capture paradigms,
+//! and property-based invariants on randomly generated data.
+
+use proptest::prelude::*;
+use smoke::core::lazy::{backward_predicate, lazy_backward};
+use smoke::core::{check_lineage_round_trip, microbenchmark_aggs};
+use smoke::prelude::*;
+
+fn zipf_like_db(zs: &[i64], vs: &[f64]) -> Database {
+    let mut builder = Relation::builder("zipf")
+        .column("z", DataType::Int)
+        .column("v", DataType::Float);
+    for (z, v) in zs.iter().zip(vs) {
+        builder = builder.row(vec![Value::Int(*z), Value::Float(*v)]);
+    }
+    let mut db = Database::new();
+    db.register(builder.build().unwrap()).unwrap();
+    db
+}
+
+fn groupby_plan() -> LogicalPlan {
+    PlanBuilder::scan("zipf")
+        .group_by(&["z"], microbenchmark_aggs("v"))
+        .build()
+}
+
+#[test]
+fn inject_defer_and_lazy_agree_on_backward_lineage() {
+    let zs: Vec<i64> = (0..500).map(|i| (i * 7) % 13).collect();
+    let vs: Vec<f64> = (0..500).map(|i| i as f64).collect();
+    let db = zipf_like_db(&zs, &vs);
+    let plan = groupby_plan();
+
+    let inject = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+    let defer = Executor::new(CaptureMode::Defer).execute(&plan, &db).unwrap();
+    assert_eq!(inject.relation, defer.relation);
+
+    let zipf = db.relation("zipf").unwrap();
+    for out in 0..inject.relation.len() as u32 {
+        let mut a = inject.lineage.backward(&[out], "zipf");
+        let mut b = defer.lineage.backward(&[out], "zipf");
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+
+        // Lazy rewrite over the base table returns the same rid set.
+        let key = inject.relation.value(out as usize, 0);
+        let pred = backward_predicate(&["z".to_string()], &[key], None);
+        let lazy = lazy_backward(zipf, &pred).unwrap();
+        assert_eq!(a, lazy);
+    }
+    check_lineage_round_trip(&inject, "zipf").unwrap();
+}
+
+#[test]
+fn forward_lineage_partitions_the_input() {
+    let zs: Vec<i64> = (0..300).map(|i| i % 7).collect();
+    let vs: Vec<f64> = (0..300).map(|i| (i % 10) as f64).collect();
+    let db = zipf_like_db(&zs, &vs);
+    let out = Executor::new(CaptureMode::Inject)
+        .execute(&groupby_plan(), &db)
+        .unwrap();
+
+    // Every input rid maps to exactly one group, and the group's key matches
+    // the input's key.
+    for rid in 0..300u32 {
+        let outs = out.lineage.forward(&[rid], "zipf");
+        assert_eq!(outs.len(), 1);
+        let group_key = out.relation.value(outs[0] as usize, 0);
+        assert_eq!(group_key, Value::Int(zs[rid as usize]));
+    }
+    // Backward lineage cardinalities sum to the input size.
+    let total: usize = (0..out.relation.len() as u32)
+        .map(|o| out.lineage.backward(&[o], "zipf").len())
+        .sum();
+    assert_eq!(total, 300);
+}
+
+#[test]
+fn spja_plan_with_join_selection_and_aggregation() {
+    // orders(o_id, region) ⋈ items(i_oid, price > 10) grouped by region.
+    let mut orders = Relation::builder("orders")
+        .column("o_id", DataType::Int)
+        .column("region", DataType::Str);
+    for i in 0..20 {
+        orders = orders.row(vec![
+            Value::Int(i),
+            Value::Str(if i % 2 == 0 { "east" } else { "west" }.into()),
+        ]);
+    }
+    let mut items = Relation::builder("items")
+        .column("i_oid", DataType::Int)
+        .column("price", DataType::Float);
+    for i in 0..200 {
+        items = items.row(vec![Value::Int(i % 20), Value::Float((i % 25) as f64)]);
+    }
+    let mut db = Database::new();
+    db.register(orders.build().unwrap()).unwrap();
+    db.register(items.build().unwrap()).unwrap();
+
+    let plan = PlanBuilder::scan("orders")
+        .join(PlanBuilder::scan("items"), &["o_id"], &["i_oid"])
+        .select(Expr::col("price").gt(Expr::lit(10.0)))
+        .group_by(&["region"], vec![AggExpr::count("cnt"), AggExpr::sum("price", "total")])
+        .build();
+
+    let out = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+    assert_eq!(out.relation.len(), 2);
+    check_lineage_round_trip(&out, "items").unwrap();
+    check_lineage_round_trip(&out, "orders").unwrap();
+
+    // The backward lineage of each region bar only contains items priced
+    // above the selection threshold and orders of the right region.
+    let items_rel = db.relation("items").unwrap();
+    let orders_rel = db.relation("orders").unwrap();
+    for bar in 0..2u32 {
+        let region = out.relation.value(bar as usize, 0);
+        for rid in out.lineage.backward(&[bar], "items") {
+            assert!(items_rel.value(rid as usize, 1).as_float().unwrap() > 10.0);
+        }
+        for rid in out.lineage.backward(&[bar], "orders") {
+            assert_eq!(orders_rel.value(rid as usize, 1), region);
+        }
+    }
+}
+
+#[test]
+fn counts_match_backward_cardinalities() {
+    let zs: Vec<i64> = (0..400).map(|i| (i * 31) % 11).collect();
+    let vs: Vec<f64> = (0..400).map(|i| i as f64 * 0.5).collect();
+    let db = zipf_like_db(&zs, &vs);
+    let out = Executor::new(CaptureMode::Inject)
+        .execute(&groupby_plan(), &db)
+        .unwrap();
+    let cnt_idx = out.relation.column_index("cnt").unwrap();
+    for o in 0..out.relation.len() {
+        let cnt = out.relation.value(o, cnt_idx).as_int().unwrap() as usize;
+        assert_eq!(out.lineage.backward(&[o as u32], "zipf").len(), cnt);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: for any data, backward and forward lineage of an aggregation
+    /// are inverses, every input appears in exactly one group, and the
+    /// backward rid sets equal the lazy rewrite's rid sets.
+    #[test]
+    fn prop_groupby_lineage_invariants(
+        zs in prop::collection::vec(0i64..20, 1..300),
+        seed in 0u64..1000,
+    ) {
+        let vs: Vec<f64> = zs.iter().enumerate().map(|(i, _)| ((i as u64 + seed) % 97) as f64).collect();
+        let db = zipf_like_db(&zs, &vs);
+        let out = Executor::new(CaptureMode::Inject).execute(&groupby_plan(), &db).unwrap();
+        let zipf = db.relation("zipf").unwrap();
+
+        // Inversion.
+        check_lineage_round_trip(&out, "zipf").unwrap();
+
+        // Partition property.
+        let mut covered = vec![0usize; zs.len()];
+        for o in 0..out.relation.len() as u32 {
+            for rid in out.lineage.backward(&[o], "zipf") {
+                covered[rid as usize] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+
+        // Lazy equivalence for every group.
+        for o in 0..out.relation.len() as u32 {
+            let key = out.relation.value(o as usize, 0);
+            let pred = backward_predicate(&["z".to_string()], &[key], None);
+            let lazy = lazy_backward(zipf, &pred).unwrap();
+            let mut traced = out.lineage.backward(&[o], "zipf");
+            traced.sort_unstable();
+            prop_assert_eq!(traced, lazy);
+        }
+    }
+
+    /// Property: selection lineage is exactly the set of qualifying rids, in
+    /// order, for arbitrary thresholds.
+    #[test]
+    fn prop_selection_lineage_matches_predicate(
+        vs in prop::collection::vec(0.0f64..100.0, 1..400),
+        threshold in 0.0f64..100.0,
+    ) {
+        let zs: Vec<i64> = vs.iter().map(|_| 0).collect();
+        let db = zipf_like_db(&zs, &vs);
+        let plan = PlanBuilder::scan("zipf")
+            .select(Expr::col("v").lt(Expr::lit(threshold)))
+            .build();
+        let out = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+        let expected: Vec<u32> = vs
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v < threshold)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(out.relation.len(), expected.len());
+        let traced: Vec<u32> = (0..out.relation.len() as u32)
+            .flat_map(|o| out.lineage.backward(&[o], "zipf"))
+            .collect();
+        prop_assert_eq!(traced, expected);
+    }
+
+    /// Property: join lineage pairs always satisfy the join condition.
+    #[test]
+    fn prop_join_lineage_pairs_satisfy_join_keys(
+        right_keys in prop::collection::vec(0i64..8, 1..200),
+    ) {
+        let mut left = Relation::builder("dim").column("id", DataType::Int).column("tag", DataType::Str);
+        for i in 0..8 {
+            left = left.row(vec![Value::Int(i), Value::Str(format!("t{i}"))]);
+        }
+        let mut right = Relation::builder("fact").column("k", DataType::Int).column("m", DataType::Float);
+        for (i, k) in right_keys.iter().enumerate() {
+            right = right.row(vec![Value::Int(*k), Value::Float(i as f64)]);
+        }
+        let mut db = Database::new();
+        db.register(left.build().unwrap()).unwrap();
+        db.register(right.build().unwrap()).unwrap();
+
+        let plan = PlanBuilder::scan("dim")
+            .join(PlanBuilder::scan("fact"), &["id"], &["k"])
+            .build();
+        let out = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+        prop_assert_eq!(out.relation.len(), right_keys.len());
+        let dim = db.relation("dim").unwrap();
+        let fact = db.relation("fact").unwrap();
+        for o in 0..out.relation.len() as u32 {
+            let l = out.lineage.backward(&[o], "dim")[0];
+            let r = out.lineage.backward(&[o], "fact")[0];
+            prop_assert_eq!(dim.value(l as usize, 0), fact.value(r as usize, 0));
+        }
+    }
+}
