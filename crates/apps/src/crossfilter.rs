@@ -20,9 +20,9 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use smoke_core::{AggExpr, CaptureMode, DirectionFilter, EngineError, Result};
 use smoke_core::ops::groupby::{group_by, GroupByOptions};
 use smoke_core::query::consume_aggregate;
+use smoke_core::{AggExpr, CaptureMode, DirectionFilter, EngineError, Result};
 use smoke_lineage::LineageIndex;
 use smoke_storage::{Column, DataType, Field, Relation, Rid, Schema, Value};
 
@@ -38,6 +38,10 @@ pub enum CrossfilterTechnique {
     /// Pairwise partial data cubes built during capture.
     PartialCube,
 }
+
+/// Pairwise sparse count cubes: `cubes[i][j][bar_i][bar_j]` is the number of
+/// base tuples landing in bar `bar_i` of view `i` and bar `bar_j` of view `j`.
+type PairwiseCubes = Vec<Vec<HashMap<Rid, HashMap<Rid, u64>>>>;
 
 /// One crossfilter view: a group-by COUNT over a single dimension.
 #[derive(Debug, Clone)]
@@ -73,7 +77,7 @@ pub struct CrossfilterSession {
     views: Vec<View>,
     /// Pairwise sparse cubes: `cube[i][j][bar_i]` maps bars of view `j` to
     /// counts, for `i != j`. Present only for [`CrossfilterTechnique::PartialCube`].
-    cube: Option<Vec<Vec<HashMap<Rid, HashMap<Rid, u64>>>>>,
+    cube: Option<PairwiseCubes>,
     /// Wall-clock time spent building views and capturing lineage / cubes.
     pub build_time: Duration,
 }
@@ -128,8 +132,7 @@ impl CrossfilterSession {
         // hash functions from base rid to bar.
         let cube = if technique == CrossfilterTechnique::PartialCube {
             let n = views.len();
-            let mut cube: Vec<Vec<HashMap<Rid, HashMap<Rid, u64>>>> =
-                vec![vec![HashMap::new(); n]; n];
+            let mut cube: PairwiseCubes = vec![vec![HashMap::new(); n]; n];
             for rid in 0..base.len() as Rid {
                 let bars: Vec<Option<Rid>> = views
                     .iter()
@@ -239,7 +242,7 @@ impl CrossfilterSession {
                 consume_aggregate(
                     &self.base,
                     &rids,
-                    &[view.dimension.clone()],
+                    std::slice::from_ref(&view.dimension),
                     &[AggExpr::count("cnt")],
                 )
             })
@@ -383,8 +386,9 @@ mod tests {
         let base = base();
         let lazy =
             CrossfilterSession::build(base.clone(), &dims(), CrossfilterTechnique::Lazy).unwrap();
-        let bt = CrossfilterSession::build(base.clone(), &dims(), CrossfilterTechnique::BackwardTrace)
-            .unwrap();
+        let bt =
+            CrossfilterSession::build(base.clone(), &dims(), CrossfilterTechnique::BackwardTrace)
+                .unwrap();
         let btft = CrossfilterSession::build(
             base.clone(),
             &dims(),
@@ -416,12 +420,9 @@ mod tests {
 
     #[test]
     fn interaction_counts_sum_to_bar_count() {
-        let session = CrossfilterSession::build(
-            base(),
-            &dims(),
-            CrossfilterTechnique::BackwardForwardTrace,
-        )
-        .unwrap();
+        let session =
+            CrossfilterSession::build(base(), &dims(), CrossfilterTechnique::BackwardForwardTrace)
+                .unwrap();
         let brushed = &session.views()[0];
         for bar in 0..brushed.bars() as Rid {
             let bar_count = brushed.output.value(bar as usize, 1).as_int().unwrap();

@@ -84,7 +84,7 @@ pub fn check_fd(
 fn check_cd(table: &Relation, fd: &FunctionalDependency) -> Result<FdViolationReport> {
     let result = group_by(
         table,
-        &[fd.lhs.clone()],
+        std::slice::from_ref(&fd.lhs),
         &[AggExpr::count_distinct(&fd.rhs, "distinct_rhs")],
         &GroupByOptions::inject(),
     )?;
@@ -93,8 +93,8 @@ fn check_cd(table: &Relation, fd: &FunctionalDependency) -> Result<FdViolationRe
 
     let mut violations = Vec::new();
     let mut bipartite = HashMap::new();
-    for gid in 0..result.output.len() {
-        if distinct_col[gid] > 1 {
+    for (gid, &distinct) in distinct_col.iter().enumerate() {
+        if distinct > 1 {
             let key = result.output.value(gid, 0).group_key();
             bipartite.insert(key.clone(), backward.lookup(gid as Rid));
             violations.push(key);
@@ -143,11 +143,7 @@ fn check_ug(
             // over stringified values rather than rid-encoded outputs.
             let string_values: BTreeSet<String> = tuples
                 .iter()
-                .map(|&rid| {
-                    table
-                        .value(rid as usize, rhs_view.column_index)
-                        .group_key()
-                })
+                .map(|&rid| table.value(rid as usize, rhs_view.column_index).group_key())
                 .collect();
             if string_values.len() <= 1 {
                 continue;
@@ -240,7 +236,9 @@ pub fn check_all_fds(
     fds: &[FunctionalDependency],
     technique: ProfilingTechnique,
 ) -> Result<Vec<FdViolationReport>> {
-    fds.iter().map(|fd| check_fd(table, fd, technique)).collect()
+    fds.iter()
+        .map(|fd| check_fd(table, fd, technique))
+        .collect()
 }
 
 /// Utility: ground-truth violating LHS values computed with plain hash maps
@@ -319,7 +317,10 @@ mod tests {
                 .count();
             assert_eq!(rids.len(), expected);
         }
-        assert_eq!(report.edge_count(), report.bipartite.values().map(Vec::len).sum());
+        assert_eq!(
+            report.edge_count(),
+            report.bipartite.values().map(Vec::len).sum()
+        );
     }
 
     #[test]
@@ -336,7 +337,8 @@ mod tests {
             ProfilingTechnique::SmokeUg,
             ProfilingTechnique::MetanomeUg,
         ] {
-            let report = check_fd(&t, &FunctionalDependency::new("zip", "state"), technique).unwrap();
+            let report =
+                check_fd(&t, &FunctionalDependency::new("zip", "state"), technique).unwrap();
             assert_eq!(report.violation_count(), 0);
         }
     }

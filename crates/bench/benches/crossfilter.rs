@@ -4,7 +4,11 @@ use smoke_apps::crossfilter::{CrossfilterSession, CrossfilterTechnique};
 use smoke_datagen::ontime::{view_dimensions, OntimeSpec};
 
 fn bench(c: &mut Criterion) {
-    let base = OntimeSpec { rows: 50_000, seed: 17 }.generate();
+    let base = OntimeSpec {
+        rows: 50_000,
+        seed: 17,
+    }
+    .generate();
     let dims = view_dimensions();
     let mut group = c.benchmark_group("fig13_14_crossfilter");
     group.sample_size(10);

@@ -1,7 +1,7 @@
 //! Criterion bench for Figure 5: group-by aggregation lineage capture.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use smoke_core::ops::groupby::{group_by, GroupByOptions};
 use smoke_core::microbenchmark_aggs;
+use smoke_core::ops::groupby::{group_by, GroupByOptions};
 use smoke_datagen::zipf::{zipf_table, ZipfSpec};
 
 fn bench(c: &mut Criterion) {
@@ -10,7 +10,12 @@ fn bench(c: &mut Criterion) {
     let keys = vec!["z".to_string()];
     let aggs = microbenchmark_aggs("v");
     for groups in [100usize, 10_000] {
-        let table = zipf_table(&ZipfSpec { theta: 1.0, rows: 100_000, groups, seed: 42 });
+        let table = zipf_table(&ZipfSpec {
+            theta: 1.0,
+            rows: 100_000,
+            groups,
+            seed: 42,
+        });
         for (name, opts) in [
             ("baseline", GroupByOptions::baseline()),
             ("smoke_inject", GroupByOptions::inject()),

@@ -11,20 +11,37 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let keys = vec!["z".to_string()];
     for theta in [0.0f64, 1.6] {
-        let table = zipf_table(&ZipfSpec { theta, rows: 100_000, groups: 1_000, seed: 21 });
-        let captured = group_by(&table, &keys, &microbenchmark_aggs("v"), &GroupByOptions::inject()).unwrap();
-        let backward = captured.lineage.input(0).backward().clone();
-        group.bench_with_input(BenchmarkId::new("smoke_l", theta.to_string()), &table, |b, t| {
-            b.iter(|| gather_rows(t, &backward.lookup(0)))
+        let table = zipf_table(&ZipfSpec {
+            theta,
+            rows: 100_000,
+            groups: 1_000,
+            seed: 21,
         });
+        let captured = group_by(
+            &table,
+            &keys,
+            &microbenchmark_aggs("v"),
+            &GroupByOptions::inject(),
+        )
+        .unwrap();
+        let backward = captured.lineage.input(0).backward().clone();
+        group.bench_with_input(
+            BenchmarkId::new("smoke_l", theta.to_string()),
+            &table,
+            |b, t| b.iter(|| gather_rows(t, &backward.lookup(0))),
+        );
         let key_value = captured.output.value(0, 0);
         let pred = backward_predicate(&keys, &[key_value], None);
-        group.bench_with_input(BenchmarkId::new("lazy", theta.to_string()), &table, |b, t| {
-            b.iter(|| {
-                let rids = lazy_backward(t, &pred).unwrap();
-                gather_rows(t, &rids)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lazy", theta.to_string()),
+            &table,
+            |b, t| {
+                b.iter(|| {
+                    let rids = lazy_backward(t, &pred).unwrap();
+                    gather_rows(t, &rids)
+                })
+            },
+        );
     }
     group.finish();
 }

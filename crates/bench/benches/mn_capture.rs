@@ -6,12 +6,31 @@ use smoke_datagen::zipf::{zipf_table_named, ZipfSpec};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_mn_capture");
     group.sample_size(10);
-    let left = zipf_table_named(&ZipfSpec { theta: 1.0, rows: 1_000, groups: 10, seed: 3 }, "zipf1");
-    let right = zipf_table_named(&ZipfSpec { theta: 1.0, rows: 20_000, groups: 100, seed: 4 }, "zipf2");
+    let left = zipf_table_named(
+        &ZipfSpec {
+            theta: 1.0,
+            rows: 1_000,
+            groups: 10,
+            seed: 3,
+        },
+        "zipf1",
+    );
+    let right = zipf_table_named(
+        &ZipfSpec {
+            theta: 1.0,
+            rows: 20_000,
+            groups: 100,
+            seed: 4,
+        },
+        "zipf2",
+    );
     let k = vec!["z".to_string()];
     for (name, opts) in [
         ("smoke_inject", JoinOptions::inject().without_output()),
-        ("smoke_defer_forw", JoinOptions::defer_forward().without_output()),
+        (
+            "smoke_defer_forw",
+            JoinOptions::defer_forward().without_output(),
+        ),
         ("smoke_defer", JoinOptions::defer().without_output()),
     ] {
         group.bench_with_input(BenchmarkId::new(name, "10x20k"), &right, |b, r| {

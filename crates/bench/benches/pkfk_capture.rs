@@ -8,7 +8,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for groups in [100usize, 10_000] {
         let left = gids_table(groups);
-        let right = zipf_table(&ZipfSpec { theta: 1.0, rows: 200_000, groups, seed: 13 });
+        let right = zipf_table(&ZipfSpec {
+            theta: 1.0,
+            rows: 200_000,
+            groups,
+            seed: 13,
+        });
         let lk = vec!["id".to_string()];
         let rk = vec!["z".to_string()];
         for (name, opts) in [

@@ -4,7 +4,13 @@ use smoke_apps::profiling::{check_fd, ProfilingTechnique};
 use smoke_datagen::physician::{paper_fds, PhysicianSpec};
 
 fn bench(c: &mut Criterion) {
-    let table = PhysicianSpec { rows: 30_000, practices: 1_200, violation_rate: 0.02, seed: 23 }.generate();
+    let table = PhysicianSpec {
+        rows: 30_000,
+        practices: 1_200,
+        violation_rate: 0.02,
+        seed: 23,
+    }
+    .generate();
     let mut group = c.benchmark_group("fig15_profiling");
     group.sample_size(10);
     let fd = &paper_fds()[1]; // zip -> state

@@ -6,7 +6,11 @@ use smoke_datagen::tpch::TpchSpec;
 use smoke_datagen::tpch_queries::{q1, q3};
 
 fn bench(c: &mut Criterion) {
-    let db = TpchSpec { scale_factor: 0.002, seed: 7 }.generate();
+    let db = TpchSpec {
+        scale_factor: 0.002,
+        seed: 7,
+    }
+    .generate();
     let mut group = c.benchmark_group("fig22_23_pruning_pushdown");
     group.sample_size(10);
 

@@ -5,7 +5,12 @@ use smoke_core::Expr;
 use smoke_datagen::zipf::{zipf_table, ZipfSpec};
 
 fn bench(c: &mut Criterion) {
-    let table = zipf_table(&ZipfSpec { theta: 1.0, rows: 200_000, groups: 100, seed: 8 });
+    let table = zipf_table(&ZipfSpec {
+        theta: 1.0,
+        rows: 200_000,
+        groups: 100,
+        seed: 8,
+    });
     let mut group = c.benchmark_group("fig21_selection_capture");
     group.sample_size(10);
     for sel in [0.1f64, 0.5] {

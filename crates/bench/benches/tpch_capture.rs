@@ -5,11 +5,18 @@ use smoke_datagen::tpch::TpchSpec;
 use smoke_datagen::tpch_queries::evaluation_queries;
 
 fn bench(c: &mut Criterion) {
-    let db = TpchSpec { scale_factor: 0.002, seed: 7 }.generate();
+    let db = TpchSpec {
+        scale_factor: 0.002,
+        seed: 7,
+    }
+    .generate();
     let mut group = c.benchmark_group("fig8_tpch_capture");
     group.sample_size(10);
     for (name, plan) in evaluation_queries() {
-        for (mode_name, mode) in [("baseline", CaptureMode::Baseline), ("smoke_inject", CaptureMode::Inject)] {
+        for (mode_name, mode) in [
+            ("baseline", CaptureMode::Baseline),
+            ("smoke_inject", CaptureMode::Inject),
+        ] {
             group.bench_with_input(BenchmarkId::new(mode_name, name), &plan, |b, p| {
                 b.iter(|| Executor::new(mode).execute(p, &db).unwrap())
             });

@@ -5,7 +5,11 @@ use smoke_bench::{tpch_exp, Scale};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_12_workload_opts");
     group.sample_size(10);
-    let scale = Scale { factor: 0.3, runs: 1, warmup: 0 };
+    let scale = Scale {
+        factor: 0.3,
+        runs: 1,
+        warmup: 0,
+    };
     group.bench_function("fig10_data_skipping_suite", |b| {
         b.iter(|| tpch_exp::fig10(&scale))
     });

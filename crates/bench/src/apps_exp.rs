@@ -33,9 +33,8 @@ pub fn fig13_14(scale: &Scale) -> Vec<ExpRow> {
         CrossfilterTechnique::PartialCube,
     ] {
         let name = technique_name(technique);
-        let (session, build) = time(|| {
-            CrossfilterSession::build(base.clone(), &dims, technique).unwrap()
-        });
+        let (session, build) =
+            time(|| CrossfilterSession::build(base.clone(), &dims, technique).unwrap());
         rows.push(ExpRow::new("fig13", "build", name, "latency_ms", ms(build)));
 
         let mut cumulative_ms = ms(build);
@@ -141,8 +140,7 @@ mod tests {
     fn profiling_experiment_reports_consistent_violation_counts() {
         let rows = fig15(&Scale::tiny());
         // For every FD, all techniques must agree on the number of violations.
-        let fds: std::collections::HashSet<&str> =
-            rows.iter().map(|r| r.config.as_str()).collect();
+        let fds: std::collections::HashSet<&str> = rows.iter().map(|r| r.config.as_str()).collect();
         for fd in fds {
             let counts: std::collections::HashSet<i64> = rows
                 .iter()

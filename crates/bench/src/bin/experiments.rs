@@ -20,6 +20,10 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
             "--scale" => {
                 i += 1;
                 scale.factor = args
@@ -59,6 +63,18 @@ fn main() {
         all_rows.extend(rows);
     }
     println!("\ntotal measurements: {}", all_rows.len());
+}
+
+fn print_usage() {
+    println!(
+        "Usage: experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|all]\n\
+         \x20                  [--scale <factor>] [--runs <n>]\n\
+         \n\
+         Regenerates the data behind the figures of the Smoke evaluation and\n\
+         prints it as aligned tables. The default scale keeps the full suite at\n\
+         laptop/CI runtimes; pass --scale 10 (or more) to approach the paper's\n\
+         dataset sizes."
+    );
 }
 
 fn run_experiment(name: &str, scale: &Scale) -> Vec<ExpRow> {

@@ -64,20 +64,19 @@ pub fn time<T>(mut f: impl FnMut() -> T) -> (T, Duration) {
 /// the last `runs - warmup` runs (the paper averages 15 runs after 3
 /// warm-ups; the harness default is smaller to keep the suite fast).
 pub fn time_avg<T>(runs: usize, warmup: usize, mut f: impl FnMut() -> T) -> Duration {
+    let runs = runs.max(1);
+    // Clamp so at least one run is always counted (e.g. `--runs 1`).
+    let warmup = warmup.min(runs - 1);
     let mut total = Duration::ZERO;
     let mut counted = 0u32;
-    for i in 0..runs.max(1) {
+    for i in 0..runs {
         let (_, d) = time(&mut f);
         if i >= warmup {
             total += d;
             counted += 1;
         }
     }
-    if counted == 0 {
-        total
-    } else {
-        total / counted
-    }
+    total / counted
 }
 
 /// Relative overhead of `instrumented` versus `baseline` (e.g. `0.7` means

@@ -36,7 +36,13 @@ pub fn fig5(scale: &Scale) -> Vec<ExpRow> {
                 group_by(&table, &keys, &aggs, &GroupByOptions::baseline()).unwrap()
             });
             let mut push = |technique: &str, latency: std::time::Duration| {
-                rows.push(ExpRow::new("fig5", &config, technique, "capture_ms", ms(latency)));
+                rows.push(ExpRow::new(
+                    "fig5",
+                    &config,
+                    technique,
+                    "capture_ms",
+                    ms(latency),
+                ));
                 rows.push(ExpRow::new(
                     "fig5",
                     &config,
@@ -123,10 +129,23 @@ pub fn fig6(scale: &Scale) -> Vec<ExpRow> {
             let config = format!("n={n},g={g}");
 
             let baseline = time_avg(scale.runs, scale.warmup, || {
-                hash_join(&left, &right, &left_keys, &right_keys, &JoinOptions::baseline()).unwrap()
+                hash_join(
+                    &left,
+                    &right,
+                    &left_keys,
+                    &right_keys,
+                    &JoinOptions::baseline(),
+                )
+                .unwrap()
             });
             let mut push = |technique: &str, latency: std::time::Duration| {
-                rows.push(ExpRow::new("fig6", &config, technique, "capture_ms", ms(latency)));
+                rows.push(ExpRow::new(
+                    "fig6",
+                    &config,
+                    technique,
+                    "capture_ms",
+                    ms(latency),
+                ));
                 rows.push(ExpRow::new(
                     "fig6",
                     &config,
@@ -138,7 +157,14 @@ pub fn fig6(scale: &Scale) -> Vec<ExpRow> {
             push("Baseline", baseline);
 
             let inject = time_avg(scale.runs, scale.warmup, || {
-                hash_join(&left, &right, &left_keys, &right_keys, &JoinOptions::inject()).unwrap()
+                hash_join(
+                    &left,
+                    &right,
+                    &left_keys,
+                    &right_keys,
+                    &JoinOptions::inject(),
+                )
+                .unwrap()
             });
             push("Smoke-I", inject);
 
@@ -199,13 +225,22 @@ pub fn fig7(scale: &Scale) -> Vec<ExpRow> {
             let keys = (vec!["z".to_string()], vec!["z".to_string()]);
             for (technique, opts) in [
                 ("Smoke-I", JoinOptions::inject().without_output()),
-                ("Smoke-D-DeferForw", JoinOptions::defer_forward().without_output()),
+                (
+                    "Smoke-D-DeferForw",
+                    JoinOptions::defer_forward().without_output(),
+                ),
                 ("Smoke-D", JoinOptions::defer().without_output()),
             ] {
                 let latency = time_avg(scale.runs, scale.warmup, || {
                     hash_join(&left, &right, &keys.0, &keys.1, &opts).unwrap()
                 });
-                rows.push(ExpRow::new("fig7", &config, technique, "capture_ms", ms(latency)));
+                rows.push(ExpRow::new(
+                    "fig7",
+                    &config,
+                    technique,
+                    "capture_ms",
+                    ms(latency),
+                ));
             }
         }
     }
@@ -231,11 +266,23 @@ pub fn fig21(scale: &Scale) -> Vec<ExpRow> {
             let baseline = time_avg(scale.runs, scale.warmup, || {
                 select(&table, &predicate, &SelectOptions::baseline()).unwrap()
             });
-            rows.push(ExpRow::new("fig21", &config, "Baseline", "capture_ms", ms(baseline)));
+            rows.push(ExpRow::new(
+                "fig21",
+                &config,
+                "Baseline",
+                "capture_ms",
+                ms(baseline),
+            ));
             let inject = time_avg(scale.runs, scale.warmup, || {
                 select(&table, &predicate, &SelectOptions::inject()).unwrap()
             });
-            rows.push(ExpRow::new("fig21", &config, "Smoke-I", "capture_ms", ms(inject)));
+            rows.push(ExpRow::new(
+                "fig21",
+                &config,
+                "Smoke-I",
+                "capture_ms",
+                ms(inject),
+            ));
             rows.push(ExpRow::new(
                 "fig21",
                 &config,
@@ -244,9 +291,20 @@ pub fn fig21(scale: &Scale) -> Vec<ExpRow> {
                 overhead(inject, baseline),
             ));
             let estimated = time_avg(scale.runs, scale.warmup, || {
-                select(&table, &predicate, &SelectOptions::inject_with_estimate(sel)).unwrap()
+                select(
+                    &table,
+                    &predicate,
+                    &SelectOptions::inject_with_estimate(sel),
+                )
+                .unwrap()
             });
-            rows.push(ExpRow::new("fig21", &config, "Smoke-I+EC", "capture_ms", ms(estimated)));
+            rows.push(ExpRow::new(
+                "fig21",
+                &config,
+                "Smoke-I+EC",
+                "capture_ms",
+                ms(estimated),
+            ));
             rows.push(ExpRow::new(
                 "fig21",
                 &config,
@@ -280,7 +338,13 @@ mod tests {
         let rows = fig5(&Scale::tiny());
         let t = techniques(&rows);
         for expected in [
-            "Baseline", "Smoke-I", "Smoke-D", "Smoke-I+TC", "Logic-Rid", "Logic-Tup", "Phys-Mem",
+            "Baseline",
+            "Smoke-I",
+            "Smoke-D",
+            "Smoke-I+TC",
+            "Logic-Rid",
+            "Logic-Tup",
+            "Phys-Mem",
             "Phys-Bdb",
         ] {
             assert!(t.contains(expected), "missing {expected}");

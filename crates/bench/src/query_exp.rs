@@ -73,7 +73,9 @@ pub fn fig9(scale: &Scale) -> Vec<ExpRow> {
         // Logic-Rid / Logic-Tup: scan of the annotated relation.
         let mut db = Database::new();
         db.register(table.clone()).unwrap();
-        let plan = PlanBuilder::scan("zipf").group_by(&["z"], aggs.clone()).build();
+        let plan = PlanBuilder::scan("zipf")
+            .group_by(&["z"], aggs.clone())
+            .build();
         for (name, technique) in [
             ("Logic-Rid", LogicalTechnique::LogicRid),
             ("Logic-Tup", LogicalTechnique::LogicTup),

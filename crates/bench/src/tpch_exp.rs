@@ -10,7 +10,7 @@ use smoke_core::{
 };
 use smoke_datagen::tpch::TpchSpec;
 use smoke_datagen::tpch_queries::{
-    drilldown_aggs, evaluation_queries, q1, q1_shipdate_cutoff, q1b_partition_attrs, q3, q10,
+    drilldown_aggs, evaluation_queries, q1, q10, q1_shipdate_cutoff, q1b_partition_attrs, q3,
 };
 use smoke_storage::{Database, Rid, Value};
 
@@ -31,14 +31,30 @@ pub fn fig8(scale: &Scale) -> Vec<ExpRow> {
     let mut rows = Vec::new();
     for (name, plan) in evaluation_queries() {
         let baseline = time_avg(scale.runs, scale.warmup, || {
-            Executor::new(CaptureMode::Baseline).execute(&plan, &db).unwrap()
+            Executor::new(CaptureMode::Baseline)
+                .execute(&plan, &db)
+                .unwrap()
         });
-        rows.push(ExpRow::new("fig8", name, "Baseline", "latency_ms", ms(baseline)));
+        rows.push(ExpRow::new(
+            "fig8",
+            name,
+            "Baseline",
+            "latency_ms",
+            ms(baseline),
+        ));
 
         let inject = time_avg(scale.runs, scale.warmup, || {
-            Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap()
+            Executor::new(CaptureMode::Inject)
+                .execute(&plan, &db)
+                .unwrap()
         });
-        rows.push(ExpRow::new("fig8", name, "Smoke-I", "latency_ms", ms(inject)));
+        rows.push(ExpRow::new(
+            "fig8",
+            name,
+            "Smoke-I",
+            "latency_ms",
+            ms(inject),
+        ));
         rows.push(ExpRow::new(
             "fig8",
             name,
@@ -50,7 +66,13 @@ pub fn fig8(scale: &Scale) -> Vec<ExpRow> {
         let logic = time_avg(scale.runs.min(2), 0, || {
             run_logical(&plan, &db, LogicalTechnique::LogicIdx).unwrap()
         });
-        rows.push(ExpRow::new("fig8", name, "Logic-Idx", "latency_ms", ms(logic)));
+        rows.push(ExpRow::new(
+            "fig8",
+            name,
+            "Logic-Idx",
+            "latency_ms",
+            ms(logic),
+        ));
         rows.push(ExpRow::new(
             "fig8",
             name,
@@ -71,13 +93,21 @@ pub fn fig10(scale: &Scale) -> Vec<ExpRow> {
     let mut rows = Vec::new();
 
     // Capture Q1 with and without the data-skipping partitioning.
-    let plain = Executor::new(CaptureMode::Inject).execute(&q1(), &db).unwrap();
+    let plain = Executor::new(CaptureMode::Inject)
+        .execute(&q1(), &db)
+        .unwrap();
     let skipping_cfg = CaptureConfig::inject().with_workload(WorkloadOptions {
         skipping_partition_by: q1b_partition_attrs(),
         ..Default::default()
     });
-    let skipping = Executor::with_config(skipping_cfg).execute(&q1(), &db).unwrap();
-    let part_index = skipping.artifacts.partitioned.as_ref().expect("skipping index");
+    let skipping = Executor::with_config(skipping_cfg)
+        .execute(&q1(), &db)
+        .unwrap();
+    let part_index = skipping
+        .artifacts
+        .partitioned
+        .as_ref()
+        .expect("skipping index");
 
     let q1_keys = vec!["l_returnflag".to_string(), "l_linestatus".to_string()];
     let q1a_keys = vec!["l_shipyear".to_string(), "l_shipmonth".to_string()];
@@ -104,7 +134,13 @@ pub fn fig10(scale: &Scale) -> Vec<ExpRow> {
                 let lazy = time_avg(scale.runs, scale.warmup, || {
                     lazy_consume(lineitem, &rewrite, Some(&extra), &q1a_keys, &aggs).unwrap()
                 });
-                rows.push(ExpRow::new("fig10", &config, "Lazy", "latency_ms", ms(lazy)));
+                rows.push(ExpRow::new(
+                    "fig10",
+                    &config,
+                    "Lazy",
+                    "latency_ms",
+                    ms(lazy),
+                ));
 
                 let rids = plain.lineage.backward(&[bar], "lineitem");
                 let no_skip = time_avg(scale.runs, scale.warmup, || {
@@ -117,14 +153,26 @@ pub fn fig10(scale: &Scale) -> Vec<ExpRow> {
                     )
                     .unwrap()
                 });
-                rows.push(ExpRow::new("fig10", &config, "NoDataSkipping", "latency_ms", ms(no_skip)));
+                rows.push(ExpRow::new(
+                    "fig10",
+                    &config,
+                    "NoDataSkipping",
+                    "latency_ms",
+                    ms(no_skip),
+                ));
 
                 let parameter = format!("{mode}|{instruct}");
                 let skip = time_avg(scale.runs, scale.warmup, || {
                     consume_with_skipping(lineitem, part_index, bar, &parameter, &q1a_keys, &aggs)
                         .unwrap()
                 });
-                rows.push(ExpRow::new("fig10", &config, "DataSkipping", "latency_ms", ms(skip)));
+                rows.push(ExpRow::new(
+                    "fig10",
+                    &config,
+                    "DataSkipping",
+                    "latency_ms",
+                    ms(skip),
+                ));
             }
         }
     }
@@ -147,10 +195,14 @@ pub fn fig11_12(scale: &Scale) -> Vec<ExpRow> {
 
     // Capture configurations.
     let baseline = time_avg(scale.runs, scale.warmup, || {
-        Executor::new(CaptureMode::Baseline).execute(&q1(), &db).unwrap()
+        Executor::new(CaptureMode::Baseline)
+            .execute(&q1(), &db)
+            .unwrap()
     });
     let plain_latency = time_avg(scale.runs, scale.warmup, || {
-        Executor::new(CaptureMode::Inject).execute(&q1(), &db).unwrap()
+        Executor::new(CaptureMode::Inject)
+            .execute(&q1(), &db)
+            .unwrap()
     });
     let pushdown_cfg = CaptureConfig::inject().with_workload(WorkloadOptions {
         agg_pushdown: Some(AggPushdown {
@@ -160,7 +212,9 @@ pub fn fig11_12(scale: &Scale) -> Vec<ExpRow> {
         ..Default::default()
     });
     let pushdown_latency = time_avg(scale.runs, scale.warmup, || {
-        Executor::with_config(pushdown_cfg.clone()).execute(&q1(), &db).unwrap()
+        Executor::with_config(pushdown_cfg.clone())
+            .execute(&q1(), &db)
+            .unwrap()
     });
     rows.push(ExpRow::new(
         "fig12",
@@ -178,8 +232,12 @@ pub fn fig11_12(scale: &Scale) -> Vec<ExpRow> {
     ));
 
     // Consuming query latency per Q1 output bar.
-    let plain = Executor::new(CaptureMode::Inject).execute(&q1(), &db).unwrap();
-    let pushed = Executor::with_config(pushdown_cfg).execute(&q1(), &db).unwrap();
+    let plain = Executor::new(CaptureMode::Inject)
+        .execute(&q1(), &db)
+        .unwrap();
+    let pushed = Executor::with_config(pushdown_cfg)
+        .execute(&q1(), &db)
+        .unwrap();
     let cube = pushed.artifacts.cube.as_ref().expect("cube materialized");
     for bar in 0..plain.relation.len() as Rid {
         let key_values = vec![
@@ -191,18 +249,36 @@ pub fn fig11_12(scale: &Scale) -> Vec<ExpRow> {
         let lazy = time_avg(scale.runs, scale.warmup, || {
             lazy_consume(lineitem, &rewrite, None, &consuming_keys, &aggs).unwrap()
         });
-        rows.push(ExpRow::new("fig11", &config, "Lazy", "latency_ms", ms(lazy)));
+        rows.push(ExpRow::new(
+            "fig11",
+            &config,
+            "Lazy",
+            "latency_ms",
+            ms(lazy),
+        ));
 
         let rids = plain.lineage.backward(&[bar], "lineitem");
         let no_push = time_avg(scale.runs, scale.warmup, || {
             consume_aggregate(lineitem, &rids, &consuming_keys, &aggs).unwrap()
         });
-        rows.push(ExpRow::new("fig11", &config, "NoAggPushdown", "latency_ms", ms(no_push)));
+        rows.push(ExpRow::new(
+            "fig11",
+            &config,
+            "NoAggPushdown",
+            "latency_ms",
+            ms(no_push),
+        ));
 
         let from_cube = time_avg(scale.runs, scale.warmup, || {
             consume_from_cube(cube, bar).unwrap()
         });
-        rows.push(ExpRow::new("fig11", &config, "AggPushdown", "latency_ms", ms(from_cube)));
+        rows.push(ExpRow::new(
+            "fig11",
+            &config,
+            "AggPushdown",
+            "latency_ms",
+            ms(from_cube),
+        ));
     }
     rows
 }
@@ -215,11 +291,21 @@ pub fn fig22(scale: &Scale) -> Vec<ExpRow> {
     for (name, plan) in [("Q3", q3()), ("Q10", q10())] {
         let tables: Vec<String> = plan.base_tables().iter().map(|s| s.to_string()).collect();
         let baseline = time_avg(scale.runs, scale.warmup, || {
-            Executor::new(CaptureMode::Baseline).execute(&plan, &db).unwrap()
+            Executor::new(CaptureMode::Baseline)
+                .execute(&plan, &db)
+                .unwrap()
         });
-        rows.push(ExpRow::new("fig22", name, "NoCapture", "latency_ms", ms(baseline)));
+        rows.push(ExpRow::new(
+            "fig22",
+            name,
+            "NoCapture",
+            "latency_ms",
+            ms(baseline),
+        ));
         let all = time_avg(scale.runs, scale.warmup, || {
-            Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap()
+            Executor::new(CaptureMode::Inject)
+                .execute(&plan, &db)
+                .unwrap()
         });
         rows.push(ExpRow::new("fig22", name, "All", "latency_ms", ms(all)));
 
@@ -227,9 +313,17 @@ pub fn fig22(scale: &Scale) -> Vec<ExpRow> {
             let mut cfg = CaptureConfig::inject().default_directions(DirectionFilter::None);
             cfg = cfg.prune(keep.clone(), DirectionFilter::Both);
             let latency = time_avg(scale.runs, scale.warmup, || {
-                Executor::with_config(cfg.clone()).execute(&plan, &db).unwrap()
+                Executor::with_config(cfg.clone())
+                    .execute(&plan, &db)
+                    .unwrap()
             });
-            rows.push(ExpRow::new("fig22", name, format!("Only:{keep}"), "latency_ms", ms(latency)));
+            rows.push(ExpRow::new(
+                "fig22",
+                name,
+                format!("Only:{keep}"),
+                "latency_ms",
+                ms(latency),
+            ));
         }
     }
     rows
@@ -241,13 +335,29 @@ pub fn fig23(scale: &Scale) -> Vec<ExpRow> {
     let db = tpch_db(scale);
     let mut rows = Vec::new();
     let baseline = time_avg(scale.runs, scale.warmup, || {
-        Executor::new(CaptureMode::Baseline).execute(&q1(), &db).unwrap()
+        Executor::new(CaptureMode::Baseline)
+            .execute(&q1(), &db)
+            .unwrap()
     });
-    rows.push(ExpRow::new("fig23", "Q1", "Baseline", "latency_ms", ms(baseline)));
+    rows.push(ExpRow::new(
+        "fig23",
+        "Q1",
+        "Baseline",
+        "latency_ms",
+        ms(baseline),
+    ));
     let inject = time_avg(scale.runs, scale.warmup, || {
-        Executor::new(CaptureMode::Inject).execute(&q1(), &db).unwrap()
+        Executor::new(CaptureMode::Inject)
+            .execute(&q1(), &db)
+            .unwrap()
     });
-    rows.push(ExpRow::new("fig23", "Q1", "Smoke-I", "latency_ms", ms(inject)));
+    rows.push(ExpRow::new(
+        "fig23",
+        "Q1",
+        "Smoke-I",
+        "latency_ms",
+        ms(inject),
+    ));
 
     for selectivity in [0.25, 0.5, 0.75] {
         let cutoff = 0.08 * selectivity; // l_tax is uniform in [0, 0.08].
@@ -256,7 +366,9 @@ pub fn fig23(scale: &Scale) -> Vec<ExpRow> {
             ..Default::default()
         });
         let latency = time_avg(scale.runs, scale.warmup, || {
-            Executor::with_config(cfg.clone()).execute(&q1(), &db).unwrap()
+            Executor::with_config(cfg.clone())
+                .execute(&q1(), &db)
+                .unwrap()
         });
         rows.push(ExpRow::new(
             "fig23",

@@ -226,10 +226,7 @@ impl AggState {
             (AggState::SumSqrt(a), AggState::SumSqrt(b)) => *a += b,
             (AggState::Min(a), AggState::Min(b)) => *a = a.min(*b),
             (AggState::Max(a), AggState::Max(b)) => *a = a.max(*b),
-            (
-                AggState::Avg { sum: a, count: ac },
-                AggState::Avg { sum: b, count: bc },
-            ) => {
+            (AggState::Avg { sum: a, count: ac }, AggState::Avg { sum: b, count: bc }) => {
                 *a += b;
                 *ac += bc;
             }
@@ -287,8 +284,14 @@ mod tests {
 
     #[test]
     fn empty_states_finalize_to_neutral_values() {
-        assert_eq!(AggExpr::min("v", "m").new_state().finalize(), Value::Float(0.0));
-        assert_eq!(AggExpr::avg("v", "a").new_state().finalize(), Value::Float(0.0));
+        assert_eq!(
+            AggExpr::min("v", "m").new_state().finalize(),
+            Value::Float(0.0)
+        );
+        assert_eq!(
+            AggExpr::avg("v", "a").new_state().finalize(),
+            Value::Float(0.0)
+        );
         assert_eq!(AggExpr::count("c").new_state().finalize(), Value::Int(0));
     }
 

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 
 use smoke_lineage::{InputLineage, LineageIndex, QueryLineage, RidIndex};
-use smoke_storage::{Column, Database, DataType, Relation, Rid, Value};
+use smoke_storage::{Column, DataType, Database, Relation, Rid, Value};
 
 use crate::error::{EngineError, Result};
 use crate::exec::execute_baseline;
@@ -61,7 +61,10 @@ fn augment_database(db: &Database, tables: &[&str]) -> Result<Database> {
     for table in tables {
         let relation = db.relation(table)?;
         let mut schema_fields = relation.schema().fields().to_vec();
-        schema_fields.push(smoke_storage::Field::new(rid_column_name(table), DataType::Int));
+        schema_fields.push(smoke_storage::Field::new(
+            rid_column_name(table),
+            DataType::Int,
+        ));
         let mut columns: Vec<Column> = relation.columns().to_vec();
         columns.push(Column::Int((0..relation.len() as i64).collect()));
         let schema = smoke_storage::Schema::new(schema_fields)?;
@@ -70,7 +73,11 @@ fn augment_database(db: &Database, tables: &[&str]) -> Result<Database> {
     Ok(augmented)
 }
 
-fn split_aggregation(plan: &LogicalPlan) -> (&LogicalPlan, Option<(&[String], &[crate::agg::AggExpr])>) {
+/// The group-by keys and aggregates peeled off the top of a plan, when the
+/// plan's root is an aggregation.
+type AggregationSplit<'a> = Option<(&'a [String], &'a [crate::agg::AggExpr])>;
+
+fn split_aggregation(plan: &LogicalPlan) -> (&LogicalPlan, AggregationSplit<'_>) {
     match plan {
         LogicalPlan::GroupBy { input, keys, aggs } => (input.as_ref(), Some((keys, aggs))),
         other => (other, None),
@@ -84,7 +91,9 @@ fn contains_projection(plan: &LogicalPlan) -> bool {
         LogicalPlan::Select { input, .. } | LogicalPlan::GroupBy { input, .. } => {
             contains_projection(input)
         }
-        LogicalPlan::Join { left, right, .. } => contains_projection(left) || contains_projection(right),
+        LogicalPlan::Join { left, right, .. } => {
+            contains_projection(left) || contains_projection(right)
+        }
     }
 }
 
@@ -327,7 +336,14 @@ mod tests {
         let mut zipf = Relation::builder("zipf")
             .column("z", DataType::Int)
             .column("v", DataType::Float);
-        for (z, v) in [(1, 10.0), (2, 20.0), (1, 30.0), (3, 40.0), (2, 50.0), (1, 60.0)] {
+        for (z, v) in [
+            (1, 10.0),
+            (2, 20.0),
+            (1, 30.0),
+            (3, 40.0),
+            (2, 50.0),
+            (1, 60.0),
+        ] {
             zipf = zipf.row(vec![Value::Int(z), Value::Float(v)]);
         }
         db.register(zipf.build().unwrap()).unwrap();
@@ -375,7 +391,9 @@ mod tests {
         let plan = groupby_plan();
         let (capture, lineage) = run_logical(&plan, &db, LogicalTechnique::LogicIdx).unwrap();
         let lineage = lineage.unwrap();
-        let smoke = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+        let smoke = Executor::new(CaptureMode::Inject)
+            .execute(&plan, &db)
+            .unwrap();
         assert_eq!(capture.output, smoke.relation);
         for o in 0..capture.output.len() as Rid {
             let mut a = lineage.backward(&[o], "zipf");
@@ -415,7 +433,9 @@ mod tests {
         // Output has no annotation columns.
         assert!(capture.output.column_by_name("__rid_zipf").is_err());
         let lineage = lineage.unwrap();
-        let smoke = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+        let smoke = Executor::new(CaptureMode::Inject)
+            .execute(&plan, &db)
+            .unwrap();
         for o in 0..capture.output.len() as Rid {
             assert_eq!(
                 lineage.backward(&[o], "zipf").len(),
@@ -437,7 +457,9 @@ mod tests {
             .build();
         let (capture, lineage) = run_logical(&plan, &db, LogicalTechnique::LogicIdx).unwrap();
         assert_eq!(capture.annotated.len(), 4);
-        let smoke = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+        let smoke = Executor::new(CaptureMode::Inject)
+            .execute(&plan, &db)
+            .unwrap();
         let lineage = lineage.unwrap();
         for o in 0..capture.output.len() as Rid {
             let mut a = lineage.backward(&[o], "zipf");

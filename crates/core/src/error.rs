@@ -52,7 +52,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(EngineError::UnknownColumn("z".into()).to_string().contains("z"));
-        assert!(EngineError::InvalidPlan("no root".into()).to_string().contains("no root"));
+        assert!(EngineError::UnknownColumn("z".into())
+            .to_string()
+            .contains("z"));
+        assert!(EngineError::InvalidPlan("no root".into())
+            .to_string()
+            .contains("no root"));
     }
 }

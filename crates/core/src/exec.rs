@@ -101,7 +101,11 @@ impl Executor {
             lineage.insert(
                 table,
                 InputLineage {
-                    backward: if dirs.backward() { input.backward } else { None },
+                    backward: if dirs.backward() {
+                        input.backward
+                    } else {
+                        None
+                    },
                     forward: if dirs.forward() { input.forward } else { None },
                 },
             );
@@ -173,11 +177,7 @@ impl Executor {
                 let opts = SelectOptions {
                     capture,
                     directions: self.directions_for_side(&tables),
-                    selectivity_estimate: self
-                        .config
-                        .hints
-                        .as_ref()
-                        .and_then(|h| h.selectivity),
+                    selectivity_estimate: self.config.hints.as_ref().and_then(|h| h.selectivity),
                 };
                 let out = select(child.relation.as_ref(), predicate, &opts)?;
                 let per_table = compose_unary(&child.per_table, &out.lineage, capture);
@@ -210,7 +210,11 @@ impl Executor {
                 let tables = input.base_tables();
                 let capture = self.capture_any(&tables);
                 let opts = GroupByOptions {
-                    mode: if capture { self.mode() } else { CaptureMode::Baseline },
+                    mode: if capture {
+                        self.mode()
+                    } else {
+                        CaptureMode::Baseline
+                    },
                     directions: self.directions_for_side(&tables),
                     hints: self.config.hints.clone(),
                     workload: self.config.workload.clone(),
@@ -251,10 +255,13 @@ impl Executor {
                 let right_node = self.execute_node(right, db)?;
                 let left_tables = left.base_tables();
                 let right_tables = right.base_tables();
-                let capture =
-                    self.capture_any(&left_tables) || self.capture_any(&right_tables);
+                let capture = self.capture_any(&left_tables) || self.capture_any(&right_tables);
                 let opts = JoinOptions {
-                    mode: if capture { self.mode() } else { CaptureMode::Baseline },
+                    mode: if capture {
+                        self.mode()
+                    } else {
+                        CaptureMode::Baseline
+                    },
                     left_directions: self.directions_for_side(&left_tables),
                     right_directions: self.directions_for_side(&right_tables),
                     hints: self.config.hints.clone(),
@@ -439,9 +446,15 @@ mod tests {
     fn baseline_and_inject_agree_on_results() {
         let db = db();
         let plan = spja_plan();
-        let baseline = Executor::new(CaptureMode::Baseline).execute(&plan, &db).unwrap();
-        let inject = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
-        let defer = Executor::new(CaptureMode::Defer).execute(&plan, &db).unwrap();
+        let baseline = Executor::new(CaptureMode::Baseline)
+            .execute(&plan, &db)
+            .unwrap();
+        let inject = Executor::new(CaptureMode::Inject)
+            .execute(&plan, &db)
+            .unwrap();
+        let defer = Executor::new(CaptureMode::Defer)
+            .execute(&plan, &db)
+            .unwrap();
         assert_eq!(baseline.relation, inject.relation);
         assert_eq!(baseline.relation, defer.relation);
         assert!(baseline.lineage.is_empty());
@@ -452,7 +465,9 @@ mod tests {
     fn end_to_end_lineage_reaches_base_tables() {
         let db = db();
         let plan = spja_plan();
-        let out = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+        let out = Executor::new(CaptureMode::Inject)
+            .execute(&plan, &db)
+            .unwrap();
         assert_eq!(out.lineage.tables(), vec!["lineitem", "orders"]);
 
         // Group "alice" covers orders 0 and 2 and their qualifying items.
@@ -477,8 +492,12 @@ mod tests {
     fn defer_produces_same_lineage_as_inject() {
         let db = db();
         let plan = spja_plan();
-        let inject = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
-        let defer = Executor::new(CaptureMode::Defer).execute(&plan, &db).unwrap();
+        let inject = Executor::new(CaptureMode::Inject)
+            .execute(&plan, &db)
+            .unwrap();
+        let defer = Executor::new(CaptureMode::Defer)
+            .execute(&plan, &db)
+            .unwrap();
         for table in ["orders", "lineitem"] {
             for o in 0..inject.relation.len() as Rid {
                 let mut a = inject.lineage.backward(&[o], table);
@@ -513,7 +532,9 @@ mod tests {
             .select(Expr::col("l_flag").eq(Expr::lit("A")))
             .group_by(&["l_oid"], vec![AggExpr::count("cnt")])
             .build();
-        let out = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+        let out = Executor::new(CaptureMode::Inject)
+            .execute(&plan, &db)
+            .unwrap();
         assert_eq!(out.relation.len(), 4);
         // Group for l_oid = 2 with flag A is base rid 4 only.
         let g = out.find_output(|row| row[0] == Value::Int(2)).unwrap();
@@ -529,7 +550,9 @@ mod tests {
             .select(Expr::col("l_qty").ge(Expr::lit(4.0)))
             .project(&["l_flag"])
             .build();
-        let out = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+        let out = Executor::new(CaptureMode::Inject)
+            .execute(&plan, &db)
+            .unwrap();
         assert_eq!(out.relation.schema().names(), vec!["l_flag"]);
         // Output rid 0 is lineitem rid 0 (qty 5).
         assert_eq!(out.lineage.backward(&[0], "lineitem"), vec![0]);
@@ -539,6 +562,8 @@ mod tests {
     fn missing_table_is_an_error() {
         let db = db();
         let plan = PlanBuilder::scan("nope").build();
-        assert!(Executor::new(CaptureMode::Inject).execute(&plan, &db).is_err());
+        assert!(Executor::new(CaptureMode::Inject)
+            .execute(&plan, &db)
+            .is_err());
     }
 }

@@ -183,28 +183,9 @@ impl Expr {
         }
     }
 
-    /// `self + other`.
-    pub fn add(self, other: Expr) -> Expr {
+    fn arith(self, op: ArithOp, other: Expr) -> Expr {
         Expr::Arith {
-            op: ArithOp::Add,
-            left: Box::new(self),
-            right: Box::new(other),
-        }
-    }
-
-    /// `self - other`.
-    pub fn sub(self, other: Expr) -> Expr {
-        Expr::Arith {
-            op: ArithOp::Sub,
-            left: Box::new(self),
-            right: Box::new(other),
-        }
-    }
-
-    /// `self * other`.
-    pub fn mul(self, other: Expr) -> Expr {
-        Expr::Arith {
-            op: ArithOp::Mul,
+            op,
             left: Box::new(self),
             right: Box::new(other),
         }
@@ -277,6 +258,33 @@ impl Expr {
                 list: list.clone(),
             },
         })
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+
+    /// `self + other`.
+    fn add(self, other: Expr) -> Expr {
+        self.arith(ArithOp::Add, other)
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+
+    /// `self - other`.
+    fn sub(self, other: Expr) -> Expr {
+        self.arith(ArithOp::Sub, other)
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+
+    /// `self * other`.
+    fn mul(self, other: Expr) -> Expr {
+        self.arith(ArithOp::Mul, other)
     }
 }
 
@@ -387,9 +395,21 @@ mod tests {
             .column("a", DataType::Int)
             .column("b", DataType::Float)
             .column("s", DataType::Str)
-            .row(vec![Value::Int(1), Value::Float(0.5), Value::Str("x".into())])
-            .row(vec![Value::Int(5), Value::Float(2.0), Value::Str("y".into())])
-            .row(vec![Value::Int(9), Value::Float(4.5), Value::Str("x".into())])
+            .row(vec![
+                Value::Int(1),
+                Value::Float(0.5),
+                Value::Str("x".into()),
+            ])
+            .row(vec![
+                Value::Int(5),
+                Value::Float(2.0),
+                Value::Str("y".into()),
+            ])
+            .row(vec![
+                Value::Int(9),
+                Value::Float(4.5),
+                Value::Str("x".into()),
+            ])
             .build()
             .unwrap()
     }
@@ -436,9 +456,7 @@ mod tests {
     #[test]
     fn arithmetic_and_in_list() {
         let r = rel();
-        let e = Expr::col("b")
-            .mul(Expr::lit(2.0))
-            .add(Expr::col("a"))
+        let e = (Expr::col("b") * Expr::lit(2.0) + Expr::col("a"))
             .bind(&r)
             .unwrap();
         assert_eq!(e.eval(&r, 1).unwrap(), Value::Float(9.0));
@@ -451,7 +469,7 @@ mod tests {
         assert!(!e.eval_bool(&r, 1).unwrap());
         assert!(e.eval_bool(&r, 2).unwrap());
 
-        let e = Expr::col("a").sub(Expr::lit(1)).bind(&r).unwrap();
+        let e = (Expr::col("a") - Expr::lit(1)).bind(&r).unwrap();
         assert_eq!(e.eval(&r, 0).unwrap(), Value::Float(0.0));
     }
 

@@ -127,9 +127,21 @@ mod tests {
             .column("z", DataType::Int)
             .column("name", DataType::Str)
             .column("v", DataType::Float)
-            .row(vec![Value::Int(1), Value::Str("a".into()), Value::Float(0.5)])
-            .row(vec![Value::Int(2), Value::Str("b".into()), Value::Float(0.5)])
-            .row(vec![Value::Int(1), Value::Str("a".into()), Value::Float(1.5)])
+            .row(vec![
+                Value::Int(1),
+                Value::Str("a".into()),
+                Value::Float(0.5),
+            ])
+            .row(vec![
+                Value::Int(2),
+                Value::Str("b".into()),
+                Value::Float(0.5),
+            ])
+            .row(vec![
+                Value::Int(1),
+                Value::Str("a".into()),
+                Value::Float(1.5),
+            ])
             .build()
             .unwrap()
     }

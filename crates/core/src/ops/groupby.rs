@@ -129,7 +129,9 @@ impl<'a> AggInputs<'a> {
         for (i, state) in states.iter_mut().enumerate() {
             match (&aggs[i].func, self.columns[i]) {
                 (AggFunc::Count, _) => state.update(0.0),
-                (AggFunc::CountDistinct, Some(col)) => state.update_key(&col.value(rid).group_key()),
+                (AggFunc::CountDistinct, Some(col)) => {
+                    state.update_key(&col.value(rid).group_key())
+                }
                 (_, Some(col)) => state.update(col.numeric(rid).unwrap_or(0.0)),
                 (_, None) => state.update(0.0),
             }
@@ -198,10 +200,7 @@ pub fn group_by(
             std::collections::hash_map::Entry::Occupied(e) => *e.get(),
             std::collections::hash_map::Entry::Vacant(e) => {
                 let gid = groups.len() as u32;
-                let hinted_cap = opts
-                    .hints
-                    .as_ref()
-                    .and_then(|h| h.cardinality(e.key()));
+                let hinted_cap = opts.hints.as_ref().and_then(|h| h.cardinality(e.key()));
                 let i_rids = match hinted_cap {
                     Some(cap) if capture_b && inject => RidArray::with_capacity(cap),
                     _ => RidArray::new(),
@@ -357,8 +356,8 @@ pub fn group_by(
         defer_start.elapsed()
     };
 
-    let backward_index = capture_b.then(|| LineageIndex::Index(backward));
-    let forward_index = capture_f.then(|| LineageIndex::Array(forward));
+    let backward_index = capture_b.then_some(LineageIndex::Index(backward));
+    let forward_index = capture_f.then_some(LineageIndex::Array(forward));
 
     let mut stats = CaptureStats {
         base_query,
@@ -450,7 +449,10 @@ mod tests {
         assert_eq!(result.output.len(), 3);
         assert_eq!(result.output.column(0).as_int(), &[1, 2, 3]);
         // COUNT per group.
-        assert_eq!(result.output.column_by_name("cnt").unwrap().as_int(), &[3, 2, 1]);
+        assert_eq!(
+            result.output.column_by_name("cnt").unwrap().as_int(),
+            &[3, 2, 1]
+        );
         // SUM(v) per group: z=1 -> 10+30+60, z=2 -> 20+50, z=3 -> 40.
         assert_eq!(
             result.output.column_by_name("sum_v").unwrap().as_float(),
@@ -555,14 +557,21 @@ mod tests {
     fn selection_pushdown_prunes_index_entries() {
         let r = rel();
         let mut opts = GroupByOptions::inject();
-        opts.workload.selection_pushdown = Some(crate::expr::Expr::col("tag").eq(crate::expr::Expr::lit("even")));
+        opts.workload.selection_pushdown =
+            Some(crate::expr::Expr::col("tag").eq(crate::expr::Expr::lit("even")));
         let result = group_by(&r, &["z".to_string()], &[AggExpr::count("cnt")], &opts).unwrap();
         // The query result is unchanged...
-        assert_eq!(result.output.column_by_name("cnt").unwrap().as_int(), &[3, 2, 1]);
+        assert_eq!(
+            result.output.column_by_name("cnt").unwrap().as_int(),
+            &[3, 2, 1]
+        );
         // ...but the backward index only holds rows with tag = "even" (rids 0,2,4).
         assert_eq!(result.lineage.input(0).backward().lookup(0), vec![0, 2]);
         assert_eq!(result.lineage.input(0).backward().lookup(1), vec![4]);
-        assert_eq!(result.lineage.input(0).backward().lookup(2), Vec::<Rid>::new());
+        assert_eq!(
+            result.lineage.input(0).backward().lookup(2),
+            Vec::<Rid>::new()
+        );
     }
 
     #[test]

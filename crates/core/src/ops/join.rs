@@ -324,7 +324,10 @@ pub fn hash_join(
         deferred,
         ..Default::default()
     };
-    for idx in [&a_backward, &a_forward, &b_backward, &b_forward].into_iter().flatten() {
+    for idx in [&a_backward, &a_forward, &b_backward, &b_forward]
+        .into_iter()
+        .flatten()
+    {
         stats.edges += idx.edge_count() as u64;
         stats.rid_resizes += idx.resizes();
         stats.lineage_bytes += idx.heap_bytes() as u64;
@@ -407,7 +410,10 @@ mod tests {
         assert!(result.pk_fk);
         assert_eq!(result.output_rows, 6);
         assert_eq!(result.output.len(), 6);
-        assert_eq!(result.output.schema().names(), vec!["id", "label", "z", "v"]);
+        assert_eq!(
+            result.output.schema().names(),
+            vec!["id", "label", "z", "v"]
+        );
         assert!(result.lineage.is_none());
     }
 
@@ -462,9 +468,30 @@ mod tests {
         let opts_i = JoinOptions::inject();
         let opts_d = JoinOptions::defer();
         let opts_df = JoinOptions::defer_forward();
-        let i = hash_join(&mn_left(), &mn_right(), &["z".into()], &["z".into()], &opts_i).unwrap();
-        let d = hash_join(&mn_left(), &mn_right(), &["z".into()], &["z".into()], &opts_d).unwrap();
-        let df = hash_join(&mn_left(), &mn_right(), &["z".into()], &["z".into()], &opts_df).unwrap();
+        let i = hash_join(
+            &mn_left(),
+            &mn_right(),
+            &["z".into()],
+            &["z".into()],
+            &opts_i,
+        )
+        .unwrap();
+        let d = hash_join(
+            &mn_left(),
+            &mn_right(),
+            &["z".into()],
+            &["z".into()],
+            &opts_d,
+        )
+        .unwrap();
+        let df = hash_join(
+            &mn_left(),
+            &mn_right(),
+            &["z".into()],
+            &["z".into()],
+            &opts_df,
+        )
+        .unwrap();
         assert!(!i.pk_fk);
         assert_eq!(i.output_rows, 5); // z=1: 2x2 matches, z=2: 1x1
         for result in [&d, &df] {

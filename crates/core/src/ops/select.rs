@@ -105,11 +105,15 @@ pub fn select(input: &Relation, predicate: &Expr, opts: &SelectOptions) -> Resul
     let backward_index = LineageIndex::Array(RidArray::from_vec(matching));
     stats.edges = output.len() as u64;
     stats.lineage_bytes = (backward_index.heap_bytes()
-        + if capture_forward { forward.heap_bytes() } else { 0 }) as u64;
+        + if capture_forward {
+            forward.heap_bytes()
+        } else {
+            0
+        }) as u64;
 
     let lineage = InputLineage {
         backward: capture_backward.then_some(backward_index),
-        forward: capture_forward.then(|| LineageIndex::Array(forward)),
+        forward: capture_forward.then_some(LineageIndex::Array(forward)),
     };
 
     Ok(OpOutput {
@@ -137,7 +141,12 @@ mod tests {
     #[test]
     fn baseline_produces_no_lineage() {
         let r = rel();
-        let out = select(&r, &Expr::col("v").lt(Expr::lit(35.0)), &SelectOptions::baseline()).unwrap();
+        let out = select(
+            &r,
+            &Expr::col("v").lt(Expr::lit(35.0)),
+            &SelectOptions::baseline(),
+        )
+        .unwrap();
         assert_eq!(out.output.len(), 4);
         assert!(out.lineage.is_none());
     }
@@ -178,7 +187,12 @@ mod tests {
     #[test]
     fn empty_selection() {
         let r = rel();
-        let out = select(&r, &Expr::col("id").gt(Expr::lit(100)), &SelectOptions::inject()).unwrap();
+        let out = select(
+            &r,
+            &Expr::col("id").gt(Expr::lit(100)),
+            &SelectOptions::inject(),
+        )
+        .unwrap();
         assert_eq!(out.output.len(), 0);
         assert_eq!(out.lineage.input(0).backward().len(), 0);
         assert_eq!(out.lineage.input(0).forward().lookup(5), Vec::<Rid>::new());

@@ -351,7 +351,14 @@ mod tests {
     fn set_intersection_keeps_matched_keys_only() {
         let a = rel("A", &[1, 2, 3, 2]);
         let b = rel("B", &[2, 4, 2]);
-        let out = set_op(&a, &b, &cols(), SetOpKind::IntersectSet, CaptureMode::Inject).unwrap();
+        let out = set_op(
+            &a,
+            &b,
+            &cols(),
+            SetOpKind::IntersectSet,
+            CaptureMode::Inject,
+        )
+        .unwrap();
         assert_eq!(out.output.column(0).as_int(), &[2]);
         assert_eq!(out.lineage.input(0).backward().lookup(0), vec![1, 3]);
         assert_eq!(out.lineage.input(1).backward().lookup(0), vec![0, 2]);
@@ -361,7 +368,14 @@ mod tests {
     fn bag_intersection_multiplicity() {
         let a = rel("A", &[2, 2, 5]);
         let b = rel("B", &[2, 2, 2]);
-        let out = set_op(&a, &b, &cols(), SetOpKind::IntersectBag, CaptureMode::Inject).unwrap();
+        let out = set_op(
+            &a,
+            &b,
+            &cols(),
+            SetOpKind::IntersectBag,
+            CaptureMode::Inject,
+        )
+        .unwrap();
         // 2 appears 2*3 = 6 times.
         assert_eq!(out.output.len(), 6);
         // Bag intersection has 1-to-1 backward lineage per output row.
@@ -375,7 +389,14 @@ mod tests {
     fn set_difference_traces_left_only() {
         let a = rel("A", &[1, 2, 3, 1]);
         let b = rel("B", &[2]);
-        let out = set_op(&a, &b, &cols(), SetOpKind::DifferenceSet, CaptureMode::Inject).unwrap();
+        let out = set_op(
+            &a,
+            &b,
+            &cols(),
+            SetOpKind::DifferenceSet,
+            CaptureMode::Inject,
+        )
+        .unwrap();
         assert_eq!(out.output.column(0).as_int(), &[1, 3]);
         assert_eq!(out.lineage.input(0).backward().lookup(0), vec![0, 3]);
         assert!(out.lineage.input(1).backward.is_none());
@@ -397,7 +418,11 @@ mod tests {
     fn defer_matches_inject() {
         let a = rel("A", &[1, 2, 2, 3]);
         let b = rel("B", &[3, 4]);
-        for kind in [SetOpKind::UnionSet, SetOpKind::IntersectSet, SetOpKind::DifferenceSet] {
+        for kind in [
+            SetOpKind::UnionSet,
+            SetOpKind::IntersectSet,
+            SetOpKind::DifferenceSet,
+        ] {
             let i = set_op(&a, &b, &cols(), kind, CaptureMode::Inject).unwrap();
             let d = set_op(&a, &b, &cols(), kind, CaptureMode::Defer).unwrap();
             assert_eq!(i.output, d.output, "{kind:?}");

@@ -90,7 +90,9 @@ impl LogicalPlan {
             LogicalPlan::Select { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::GroupBy { input, .. } => 1 + input.operator_count(),
-            LogicalPlan::Join { left, right, .. } => 1 + left.operator_count() + right.operator_count(),
+            LogicalPlan::Join { left, right, .. } => {
+                1 + left.operator_count() + right.operator_count()
+            }
         }
     }
 }
@@ -168,7 +170,11 @@ mod tests {
     #[test]
     fn builder_constructs_expected_tree() {
         let plan = PlanBuilder::scan("orders")
-            .join(PlanBuilder::scan("lineitem"), &["o_orderkey"], &["l_orderkey"])
+            .join(
+                PlanBuilder::scan("lineitem"),
+                &["o_orderkey"],
+                &["l_orderkey"],
+            )
             .select(Expr::col("l_quantity").gt(Expr::lit(10)))
             .group_by(&["o_orderdate"], vec![AggExpr::count("cnt")])
             .build();

@@ -148,7 +148,11 @@ mod tests {
             ("mar", 5.0, "MAIL"),
         ];
         for (m, q, md) in rows {
-            b = b.row(vec![Value::Str(m.into()), Value::Float(q), Value::Str(md.into())]);
+            b = b.row(vec![
+                Value::Str(m.into()),
+                Value::Float(q),
+                Value::Str(md.into()),
+            ]);
         }
         b.build().unwrap()
     }
@@ -219,7 +223,8 @@ mod tests {
     #[test]
     fn empty_rid_set_gives_empty_result() {
         let r = rel();
-        let out = consume_aggregate(&r, &[], &["month".to_string()], &[AggExpr::count("c")]).unwrap();
+        let out =
+            consume_aggregate(&r, &[], &["month".to_string()], &[AggExpr::count("c")]).unwrap();
         assert_eq!(out.len(), 0);
     }
 }

@@ -28,11 +28,7 @@ pub fn multi_forward(views: &[&QueryOutput], base_rids: &[Rid], table: &str) -> 
 /// Multi-backward trace: the union of the base rids of `table` contributing to
 /// the selected output rids of *any* of the given views (deduplicated,
 /// ascending).
-pub fn multi_backward(
-    views: &[&QueryOutput],
-    selections: &[Vec<Rid>],
-    table: &str,
-) -> Vec<Rid> {
+pub fn multi_backward(views: &[&QueryOutput], selections: &[Vec<Rid>], table: &str) -> Vec<Rid> {
     let mut out: BTreeSet<Rid> = BTreeSet::new();
     for (view, selected) in views.iter().zip(selections) {
         out.extend(view.lineage.backward(selected, table));
@@ -71,12 +67,14 @@ pub fn refresh_after_delete(
         .lineage
         .table(table)
         .ok_or_else(|| EngineError::InvalidPlan(format!("no lineage captured for `{table}`")))?;
-    let backward = lineage.backward.as_ref().ok_or_else(|| {
-        EngineError::InvalidPlan("refresh requires backward lineage".to_string())
-    })?;
-    let forward = lineage.forward.as_ref().ok_or_else(|| {
-        EngineError::InvalidPlan("refresh requires forward lineage".to_string())
-    })?;
+    let backward = lineage
+        .backward
+        .as_ref()
+        .ok_or_else(|| EngineError::InvalidPlan("refresh requires backward lineage".to_string()))?;
+    let forward = lineage
+        .forward
+        .as_ref()
+        .ok_or_else(|| EngineError::InvalidPlan("refresh requires forward lineage".to_string()))?;
 
     let deleted: BTreeSet<Rid> = deleted_rids.iter().copied().collect();
     // Forward propagation: the affected output records.
@@ -159,7 +157,7 @@ mod tests {
     use crate::exec::Executor;
     use crate::instrument::CaptureMode;
     use crate::plan::PlanBuilder;
-    use smoke_storage::{Database, DataType};
+    use smoke_storage::{DataType, Database};
 
     fn db() -> Database {
         let mut rel = Relation::builder("sales")
@@ -184,8 +182,12 @@ mod tests {
     }
 
     fn view(db: &Database) -> QueryOutput {
-        let plan = PlanBuilder::scan("sales").group_by(&["region"], aggs()).build();
-        Executor::new(CaptureMode::Inject).execute(&plan, db).unwrap()
+        let plan = PlanBuilder::scan("sales")
+            .group_by(&["region"], aggs())
+            .build();
+        Executor::new(CaptureMode::Inject)
+            .execute(&plan, db)
+            .unwrap()
     }
 
     #[test]
@@ -197,7 +199,10 @@ mod tests {
         let refreshed = refresh_after_delete(&v, sales, "sales", &aggs(), &[2]).unwrap();
         assert_eq!(refreshed.len(), 1);
         let east = &refreshed[0];
-        assert_eq!(v.relation.value(east.output_rid as usize, 0), Value::Str("east".into()));
+        assert_eq!(
+            v.relation.value(east.output_rid as usize, 0),
+            Value::Str("east".into())
+        );
         assert_eq!(east.aggregates, vec![Value::Int(2), Value::Float(60.0)]);
         assert!(!east.now_empty);
     }
@@ -244,7 +249,9 @@ mod tests {
         let plan2 = PlanBuilder::scan("sales")
             .group_by(&["amount"], vec![AggExpr::count("cnt")])
             .build();
-        let v2 = Executor::new(CaptureMode::Inject).execute(&plan2, &db).unwrap();
+        let v2 = Executor::new(CaptureMode::Inject)
+            .execute(&plan2, &db)
+            .unwrap();
 
         let forward = multi_forward(&[&v1, &v2], &[0], "sales");
         assert_eq!(forward.len(), 2);
@@ -260,7 +267,9 @@ mod tests {
     #[test]
     fn refresh_requires_forward_lineage() {
         let db = db();
-        let plan = PlanBuilder::scan("sales").group_by(&["region"], aggs()).build();
+        let plan = PlanBuilder::scan("sales")
+            .group_by(&["region"], aggs())
+            .build();
         let cfg = crate::instrument::CaptureConfig::inject()
             .prune("sales", crate::instrument::DirectionFilter::BackwardOnly);
         let v = Executor::with_config(cfg).execute(&plan, &db).unwrap();

@@ -177,10 +177,34 @@ mod tests {
             vec!["month".to_string()],
             vec![AggExpr::count("cnt"), AggExpr::sum("v", "total")],
         );
-        cube.update(0, "jan", &[Value::Str("jan".into())], &[1.0, 10.0], &[None, None]);
-        cube.update(0, "jan", &[Value::Str("jan".into())], &[1.0, 5.0], &[None, None]);
-        cube.update(0, "feb", &[Value::Str("feb".into())], &[1.0, 2.0], &[None, None]);
-        cube.update(1, "jan", &[Value::Str("jan".into())], &[1.0, 7.0], &[None, None]);
+        cube.update(
+            0,
+            "jan",
+            &[Value::Str("jan".into())],
+            &[1.0, 10.0],
+            &[None, None],
+        );
+        cube.update(
+            0,
+            "jan",
+            &[Value::Str("jan".into())],
+            &[1.0, 5.0],
+            &[None, None],
+        );
+        cube.update(
+            0,
+            "feb",
+            &[Value::Str("feb".into())],
+            &[1.0, 2.0],
+            &[None, None],
+        );
+        cube.update(
+            1,
+            "jan",
+            &[Value::Str("jan".into())],
+            &[1.0, 7.0],
+            &[None, None],
+        );
         cube
     }
 
@@ -236,9 +260,27 @@ mod tests {
             vec!["k".into()],
             vec![AggExpr::count_distinct("b", "cd")],
         );
-        cube.update(0, "x", &[Value::Str("x".into())], &[0.0], &[Some("b1".into())]);
-        cube.update(0, "x", &[Value::Str("x".into())], &[0.0], &[Some("b1".into())]);
-        cube.update(0, "x", &[Value::Str("x".into())], &[0.0], &[Some("b2".into())]);
+        cube.update(
+            0,
+            "x",
+            &[Value::Str("x".into())],
+            &[0.0],
+            &[Some("b1".into())],
+        );
+        cube.update(
+            0,
+            "x",
+            &[Value::Str("x".into())],
+            &[0.0],
+            &[Some("b1".into())],
+        );
+        cube.update(
+            0,
+            "x",
+            &[Value::Str("x".into())],
+            &[0.0],
+            &[Some("b2".into())],
+        );
         let r = cube.query(0).unwrap();
         assert_eq!(r.value(0, 1), Value::Int(2));
     }

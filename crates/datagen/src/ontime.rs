@@ -16,8 +16,8 @@ use crate::zipf::ZipfSampler;
 
 /// Carrier codes (29, as in the paper's setup).
 pub const CARRIERS: [&str; 29] = [
-    "AA", "AS", "B6", "DL", "EV", "F9", "FL", "HA", "MQ", "NK", "OO", "UA", "US", "VX", "WN",
-    "9E", "OH", "XE", "YV", "CO", "NW", "TZ", "DH", "HP", "RU", "TW", "AQ", "KH", "PA",
+    "AA", "AS", "B6", "DL", "EV", "F9", "FL", "HA", "MQ", "NK", "OO", "UA", "US", "VX", "WN", "9E",
+    "OH", "XE", "YV", "CO", "NW", "TZ", "DH", "HP", "RU", "TW", "AQ", "KH", "PA",
 ];
 
 /// Number of distinct lat/lon grid bins (256 × 256).
@@ -148,8 +148,12 @@ mod tests {
             .as_int()
             .iter()
             .all(|&b| (0..DELAY_BINS as i64).contains(&b)));
-        let carriers: HashSet<&String> =
-            t.column_by_name("carrier").unwrap().as_str().iter().collect();
+        let carriers: HashSet<&String> = t
+            .column_by_name("carrier")
+            .unwrap()
+            .as_str()
+            .iter()
+            .collect();
         assert!(carriers.len() <= 29);
     }
 

@@ -14,8 +14,8 @@ use smoke_storage::{Column, DataType, Field, Relation, Schema};
 
 /// US state codes used for the `state` column domain.
 const STATES: [&str; 20] = [
-    "NY", "CA", "TX", "FL", "IL", "PA", "OH", "GA", "NC", "MI", "NJ", "VA", "WA", "AZ", "MA",
-    "TN", "IN", "MO", "MD", "WI",
+    "NY", "CA", "TX", "FL", "IL", "PA", "OH", "GA", "NC", "MI", "NJ", "VA", "WA", "AZ", "MA", "TN",
+    "IN", "MO", "MD", "WI",
 ];
 
 /// A functional dependency `lhs → rhs` over the physician table.
@@ -88,13 +88,14 @@ impl PhysicianSpec {
 
         // Per-practice attributes; a violating practice gets a second,
         // conflicting value for the dependent attribute of each FD.
-        let practice_zip: Vec<String> =
-            (0..practices).map(|p| format!("{:05}", 10_000 + p)).collect();
-        let practice_state: Vec<&str> =
-            (0..practices).map(|p| STATES[p % STATES.len()]).collect();
+        let practice_zip: Vec<String> = (0..practices)
+            .map(|p| format!("{:05}", 10_000 + p))
+            .collect();
+        let practice_state: Vec<&str> = (0..practices).map(|p| STATES[p % STATES.len()]).collect();
         let practice_city: Vec<String> = (0..practices).map(|p| format!("CITY_{p}")).collect();
-        let practice_lbn: Vec<String> =
-            (0..practices).map(|p| format!("LEGAL BUSINESS {p}")).collect();
+        let practice_lbn: Vec<String> = (0..practices)
+            .map(|p| format!("LEGAL BUSINESS {p}"))
+            .collect();
         let practice_ccn: Vec<String> = (0..practices).map(|p| format!("CCN{p:06}")).collect();
         let violates: Vec<bool> = (0..practices)
             .map(|_| rng.gen_bool(self.violation_rate.clamp(0.0, 1.0)))
@@ -215,7 +216,10 @@ mod tests {
             let distinct_lhs: HashSet<String> = (0..r.len())
                 .map(|rid| r.column_by_name(&fd.lhs).unwrap().value(rid).group_key())
                 .collect();
-            assert!(violations * 5 < distinct_lhs.len(), "{fd:?} violates too often");
+            assert!(
+                violations * 5 < distinct_lhs.len(),
+                "{fd:?} violates too often"
+            );
         }
     }
 

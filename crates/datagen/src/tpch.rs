@@ -14,13 +14,35 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use smoke_storage::{Column, Database, DataType, Field, Relation, Schema};
+use smoke_storage::{Column, DataType, Database, Field, Relation, Schema};
 
 /// The 25 TPC-H nations (by key).
 pub const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA",
-    "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU",
-    "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
 ];
 
 /// Ship modes used by `l_shipmode`.
@@ -35,7 +57,13 @@ pub const SHIP_INSTRUCTS: [&str; 4] = [
 ];
 
 /// Market segments used by `c_mktsegment`.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Generation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,8 +115,12 @@ impl TpchSpec {
         db.register(generate_nation()).expect("fresh catalog");
         db.register(generate_customer(self.customer_rows(), &mut rng))
             .expect("fresh catalog");
-        db.register(generate_orders(self.orders_rows(), self.customer_rows(), &mut rng))
-            .expect("fresh catalog");
+        db.register(generate_orders(
+            self.orders_rows(),
+            self.customer_rows(),
+            &mut rng,
+        ))
+        .expect("fresh catalog");
         db.register(generate_lineitem(
             self.lineitem_rows(),
             self.orders_rows(),
@@ -111,8 +143,12 @@ fn generate_nation() -> Relation {
         Field::new("n_name", DataType::Str),
     ])
     .expect("static schema");
-    Relation::from_columns("nation", schema, vec![Column::Int(keys), Column::Str(names)])
-        .expect("columns match schema")
+    Relation::from_columns(
+        "nation",
+        schema,
+        vec![Column::Int(keys), Column::Str(names)],
+    )
+    .expect("columns match schema")
 }
 
 fn generate_customer(rows: usize, rng: &mut StdRng) -> Relation {
@@ -356,6 +392,9 @@ mod tests {
     fn generation_is_deterministic() {
         let a = TpchSpec::with_scale(0.001).generate();
         let b = TpchSpec::with_scale(0.001).generate();
-        assert_eq!(a.relation("lineitem").unwrap(), b.relation("lineitem").unwrap());
+        assert_eq!(
+            a.relation("lineitem").unwrap(),
+            b.relation("lineitem").unwrap()
+        );
     }
 }

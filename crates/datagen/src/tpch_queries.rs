@@ -62,7 +62,11 @@ pub fn q10() -> LogicalPlan {
     let start = DATE_DOMAIN_DAYS / 3;
     let end = start + 90;
     PlanBuilder::scan("nation")
-        .join(PlanBuilder::scan("customer"), &["n_nationkey"], &["c_nationkey"])
+        .join(
+            PlanBuilder::scan("customer"),
+            &["n_nationkey"],
+            &["c_nationkey"],
+        )
         .join(
             PlanBuilder::scan("orders").select(
                 Expr::col("o_orderdate")
@@ -79,7 +83,10 @@ pub fn q10() -> LogicalPlan {
         )
         .group_by(
             &["c_custkey", "n_name"],
-            vec![AggExpr::sum("l_discprice", "revenue"), AggExpr::count("items")],
+            vec![
+                AggExpr::sum("l_discprice", "revenue"),
+                AggExpr::count("items"),
+            ],
         )
         .build()
 }
@@ -151,7 +158,9 @@ mod tests {
 
     #[test]
     fn q1_produces_four_groups() {
-        let out = Executor::new(CaptureMode::Inject).execute(&q1(), &db()).unwrap();
+        let out = Executor::new(CaptureMode::Inject)
+            .execute(&q1(), &db())
+            .unwrap();
         assert_eq!(out.relation.len(), 4);
         assert!(out.lineage.table("lineitem").is_some());
     }
@@ -160,7 +169,9 @@ mod tests {
     fn q3_reads_three_relations() {
         let plan = q3();
         assert_eq!(plan.base_tables(), vec!["customer", "orders", "lineitem"]);
-        let out = Executor::new(CaptureMode::Inject).execute(&plan, &db()).unwrap();
+        let out = Executor::new(CaptureMode::Inject)
+            .execute(&plan, &db())
+            .unwrap();
         // Every group's backward lineage into customer is a single customer.
         for o in 0..out.relation.len().min(10) as u32 {
             assert_eq!(out.lineage.backward(&[o], "customer").len(), 1);
@@ -174,14 +185,18 @@ mod tests {
             plan.base_tables(),
             vec!["nation", "customer", "orders", "lineitem"]
         );
-        let out = Executor::new(CaptureMode::Inject).execute(&plan, &db()).unwrap();
-        assert!(out.relation.len() > 0);
+        let out = Executor::new(CaptureMode::Inject)
+            .execute(&plan, &db())
+            .unwrap();
+        assert!(!out.relation.is_empty());
         assert_eq!(out.lineage.tables().len(), 4);
     }
 
     #[test]
     fn q12_groups_by_ship_mode() {
-        let out = Executor::new(CaptureMode::Inject).execute(&q12(), &db()).unwrap();
+        let out = Executor::new(CaptureMode::Inject)
+            .execute(&q12(), &db())
+            .unwrap();
         assert!(out.relation.len() <= 2);
         for rid in 0..out.relation.len() {
             let mode = out.relation.value(rid, 0);
@@ -196,8 +211,12 @@ mod tests {
     fn baseline_and_inject_agree_on_all_queries() {
         let db = db();
         for (name, plan) in evaluation_queries() {
-            let base = Executor::new(CaptureMode::Baseline).execute(&plan, &db).unwrap();
-            let inject = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+            let base = Executor::new(CaptureMode::Baseline)
+                .execute(&plan, &db)
+                .unwrap();
+            let inject = Executor::new(CaptureMode::Inject)
+                .execute(&plan, &db)
+                .unwrap();
             assert_eq!(base.relation, inject.relation, "{name} results diverge");
         }
     }

@@ -170,8 +170,13 @@ mod tests {
             groups: 50,
             seed: 3,
         });
-        let distinct: std::collections::HashSet<i64> =
-            t.column_by_name("z").unwrap().as_int().iter().copied().collect();
+        let distinct: std::collections::HashSet<i64> = t
+            .column_by_name("z")
+            .unwrap()
+            .as_int()
+            .iter()
+            .copied()
+            .collect();
         assert_eq!(distinct.len(), 50);
     }
 
@@ -179,8 +184,13 @@ mod tests {
     fn gids_is_a_primary_key_table() {
         let g = gids_table(100);
         assert_eq!(g.len(), 100);
-        let ids: std::collections::HashSet<i64> =
-            g.column_by_name("id").unwrap().as_int().iter().copied().collect();
+        let ids: std::collections::HashSet<i64> = g
+            .column_by_name("id")
+            .unwrap()
+            .as_int()
+            .iter()
+            .copied()
+            .collect();
         assert_eq!(ids.len(), 100);
     }
 

@@ -18,7 +18,9 @@ pub struct RidIndex {
 impl RidIndex {
     /// Creates an empty rid index.
     pub fn new() -> Self {
-        RidIndex { entries: Vec::new() }
+        RidIndex {
+            entries: Vec::new(),
+        }
     }
 
     /// Creates a rid index with `len` empty entries.
@@ -94,15 +96,15 @@ impl RidIndex {
     /// The rids at entry `pos`, or an empty slice when out of bounds.
     #[inline]
     pub fn get_checked(&self, pos: usize) -> &[Rid] {
-        self.entries
-            .get(pos)
-            .map(RidArray::as_slice)
-            .unwrap_or(&[])
+        self.entries.get(pos).map(RidArray::as_slice).unwrap_or(&[])
     }
 
     /// Iterates over `(position, rids)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[Rid])> + '_ {
-        self.entries.iter().enumerate().map(|(i, e)| (i, e.as_slice()))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, e.as_slice()))
     }
 
     /// Total number of rids stored across all entries (number of lineage
@@ -178,12 +180,8 @@ mod tests {
     #[test]
     fn from_entries_and_iter() {
         let idx = RidIndex::from_entries(vec![vec![1, 2], vec![], vec![3]]);
-        let collected: Vec<(usize, Vec<Rid>)> =
-            idx.iter().map(|(i, r)| (i, r.to_vec())).collect();
-        assert_eq!(
-            collected,
-            vec![(0, vec![1, 2]), (1, vec![]), (2, vec![3])]
-        );
+        let collected: Vec<(usize, Vec<Rid>)> = idx.iter().map(|(i, r)| (i, r.to_vec())).collect();
+        assert_eq!(collected, vec![(0, vec![1, 2]), (1, vec![]), (2, vec![3])]);
         assert!(idx.heap_bytes() > 0);
     }
 

@@ -7,7 +7,7 @@ use crate::{DataType, Result, StorageError, Value};
 /// Columns are append-only during relation construction and immutable once the
 /// relation is built; lineage indexes reference rows by rid so stable rids are
 /// essential.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Column {
     /// 64-bit integer column.
     Int(Vec<i64>),

@@ -187,7 +187,10 @@ id,name,score
     #[test]
     fn quoting_and_escapes() {
         assert_eq!(parse_record("a,\"b,c\",d"), vec!["a", "b,c", "d"]);
-        assert_eq!(parse_record("\"he said \"\"hi\"\"\",x"), vec!["he said \"hi\"", "x"]);
+        assert_eq!(
+            parse_record("\"he said \"\"hi\"\"\",x"),
+            vec!["he said \"hi\"", "x"]
+        );
         assert_eq!(escape("plain"), "plain");
         assert_eq!(escape("a,b"), "\"a,b\"");
         assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");

@@ -32,8 +32,7 @@ impl Database {
 
     /// Registers or replaces a relation under its own name.
     pub fn register_or_replace(&mut self, relation: Relation) {
-        self.relations
-            .insert(relation.name().to_string(), relation);
+        self.relations.insert(relation.name().to_string(), relation);
     }
 
     /// Looks up a relation by name.

@@ -62,7 +62,10 @@ impl fmt::Display for StorageError {
                 write!(f, "row arity mismatch: expected {expected}, got {actual}")
             }
             StorageError::RaggedColumns { relation } => {
-                write!(f, "columns of relation `{relation}` have inconsistent lengths")
+                write!(
+                    f,
+                    "columns of relation `{relation}` have inconsistent lengths"
+                )
             }
             StorageError::DuplicateRelation(name) => {
                 write!(f, "relation `{name}` already exists")

@@ -136,7 +136,10 @@ impl Relation {
 
     /// A borrowed view of one row.
     pub fn row(&self, rid: usize) -> RowRef<'_> {
-        RowRef { relation: self, rid }
+        RowRef {
+            relation: self,
+            rid,
+        }
     }
 
     /// Materializes a row as owned values.
@@ -222,7 +225,8 @@ impl RelationBuilder {
     pub fn column(mut self, name: impl Into<String>, data_type: DataType) -> Self {
         let name = name.into();
         if self.fields.iter().any(|f| f.name == name) {
-            self.error.get_or_insert(StorageError::DuplicateColumn(name));
+            self.error
+                .get_or_insert(StorageError::DuplicateColumn(name));
             return self;
         }
         self.fields.push(Field::new(name, data_type));
@@ -287,9 +291,21 @@ mod tests {
             .column("id", DataType::Int)
             .column("v", DataType::Float)
             .column("s", DataType::Str)
-            .row(vec![Value::Int(1), Value::Float(0.5), Value::Str("a".into())])
-            .row(vec![Value::Int(2), Value::Float(1.5), Value::Str("b".into())])
-            .row(vec![Value::Int(3), Value::Float(2.5), Value::Str("c".into())])
+            .row(vec![
+                Value::Int(1),
+                Value::Float(0.5),
+                Value::Str("a".into()),
+            ])
+            .row(vec![
+                Value::Int(2),
+                Value::Float(1.5),
+                Value::Str("b".into()),
+            ])
+            .row(vec![
+                Value::Int(3),
+                Value::Float(2.5),
+                Value::Str("c".into()),
+            ])
             .build()
             .unwrap()
     }
@@ -355,7 +371,10 @@ mod tests {
 
     #[test]
     fn empty_relation() {
-        let r = Relation::empty("e", Schema::new(vec![Field::new("a", DataType::Int)]).unwrap());
+        let r = Relation::empty(
+            "e",
+            Schema::new(vec![Field::new("a", DataType::Int)]).unwrap(),
+        );
         assert!(r.is_empty());
         assert_eq!(r.all_rids(), Vec::<Rid>::new());
     }

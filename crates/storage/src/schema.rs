@@ -3,7 +3,7 @@
 use crate::{DataType, Result, StorageError};
 
 /// A named, typed column declaration.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     /// Column name.
     pub name: String,
@@ -22,7 +22,7 @@ impl Field {
 }
 
 /// An ordered collection of [`Field`]s describing a relation.
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     fields: Vec<Field>,
 }
@@ -87,10 +87,12 @@ impl Schema {
     pub fn project(&self, names: &[&str]) -> Result<Schema> {
         let mut fields = Vec::with_capacity(names.len());
         for name in names {
-            let idx = self.index_of(name).ok_or_else(|| StorageError::UnknownColumn {
-                column: (*name).to_string(),
-                relation: "<schema>".to_string(),
-            })?;
+            let idx = self
+                .index_of(name)
+                .ok_or_else(|| StorageError::UnknownColumn {
+                    column: (*name).to_string(),
+                    relation: "<schema>".to_string(),
+                })?;
             fields.push(self.fields[idx].clone());
         }
         Ok(Schema { fields })
@@ -138,10 +140,7 @@ mod tests {
         ])
         .unwrap();
         let joined = left.concat(&right, "right");
-        assert_eq!(
-            joined.names(),
-            vec!["a", "b", "c", "right.a", "d"]
-        );
+        assert_eq!(joined.names(), vec!["a", "b", "c", "right.a", "d"]);
     }
 
     #[test]

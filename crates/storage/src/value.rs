@@ -4,7 +4,7 @@ use std::cmp::Ordering;
 use std::fmt;
 
 /// The data type of a column or scalar expression.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -30,7 +30,7 @@ impl fmt::Display for DataType {
 /// keys, join keys) avoid `Value` and work directly on the typed column
 /// vectors, but plan construction, predicates over heterogeneous rows and
 /// result presentation use `Value`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// 64-bit signed integer value.
     Int(i64),
@@ -189,10 +189,7 @@ mod tests {
     #[test]
     fn group_keys_are_distinct_per_value() {
         assert_ne!(Value::Int(1).group_key(), Value::Int(2).group_key());
-        assert_ne!(
-            Value::Float(1.0).group_key(),
-            Value::Float(1.5).group_key()
-        );
+        assert_ne!(Value::Float(1.0).group_key(), Value::Float(1.5).group_key());
     }
 
     #[test]

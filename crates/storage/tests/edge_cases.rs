@@ -1,0 +1,177 @@
+//! Edge-case coverage the cross-crate integration tests skip: builder error
+//! paths, `Value` ordering/equality across types, and rid round-tripping.
+
+use std::cmp::Ordering;
+
+use smoke_storage::{DataType, Database, Relation, Rid, StorageError, Value};
+
+#[test]
+fn builder_rejects_rows_with_wrong_arity() {
+    let err = Relation::builder("t")
+        .column("a", DataType::Int)
+        .column("b", DataType::Float)
+        .row(vec![Value::Int(1)])
+        .build();
+    assert_eq!(
+        err,
+        Err(StorageError::ArityMismatch {
+            expected: 2,
+            actual: 1
+        })
+    );
+
+    let err = Relation::builder("t")
+        .column("a", DataType::Int)
+        .row(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        .build();
+    assert_eq!(
+        err,
+        Err(StorageError::ArityMismatch {
+            expected: 1,
+            actual: 3
+        })
+    );
+}
+
+#[test]
+fn builder_keeps_first_error_across_later_rows() {
+    // The arity error from the first row must survive subsequent valid rows.
+    let err = Relation::builder("t")
+        .column("a", DataType::Int)
+        .row(vec![])
+        .row(vec![Value::Int(1)])
+        .build();
+    assert_eq!(
+        err,
+        Err(StorageError::ArityMismatch {
+            expected: 1,
+            actual: 0
+        })
+    );
+}
+
+#[test]
+fn builder_rejects_type_mismatches_but_coerces_int_to_float() {
+    let err = Relation::builder("t")
+        .column("a", DataType::Int)
+        .row(vec![Value::Str("not an int".into())])
+        .build();
+    assert!(matches!(err, Err(StorageError::TypeMismatch { .. })));
+
+    // Ints are accepted into float columns (the one sanctioned coercion).
+    let rel = Relation::builder("t")
+        .column("v", DataType::Float)
+        .row(vec![Value::Int(3)])
+        .build()
+        .unwrap();
+    assert_eq!(rel.value(0, 0), Value::Float(3.0));
+}
+
+#[test]
+fn builder_rejects_duplicate_columns() {
+    let err = Relation::builder("t")
+        .column("a", DataType::Int)
+        .column("a", DataType::Float)
+        .build();
+    assert_eq!(err, Err(StorageError::DuplicateColumn("a".into())));
+}
+
+#[test]
+fn builder_with_no_rows_yields_empty_relation() {
+    let rel = Relation::builder("t")
+        .column("a", DataType::Int)
+        .build()
+        .unwrap();
+    assert!(rel.is_empty());
+    assert_eq!(rel.len(), 0);
+    assert!(rel.all_rids().is_empty());
+}
+
+#[test]
+fn value_ordering_is_total_across_types() {
+    // Numeric comparisons coerce; strings sort after all numbers.
+    assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+    assert_eq!(Value::Float(1.5).total_cmp(&Value::Int(2)), Ordering::Less);
+    assert_eq!(
+        Value::Str("0".into()).total_cmp(&Value::Int(i64::MAX)),
+        Ordering::Greater
+    );
+    assert_eq!(
+        Value::Int(i64::MIN).total_cmp(&Value::Str(String::new())),
+        Ordering::Less
+    );
+
+    // total_cmp is antisymmetric over a mixed sample.
+    let sample = [
+        Value::Int(-1),
+        Value::Int(0),
+        Value::Float(-0.5),
+        Value::Float(f64::NAN),
+        Value::Str("a".into()),
+        Value::Str(String::new()),
+    ];
+    for a in &sample {
+        for b in &sample {
+            assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse(), "{a:?} vs {b:?}");
+        }
+    }
+}
+
+#[test]
+fn value_equality_is_type_sensitive() {
+    // `==` (structural) distinguishes Int(2) from Float(2.0) even though
+    // total_cmp orders them equal — predicates rely on total_cmp, grouping on
+    // group_key.
+    assert_ne!(Value::Int(2), Value::Float(2.0));
+    assert_eq!(Value::Int(2), Value::Int(2));
+    assert_ne!(Value::Int(2).group_key(), Value::Float(2.0).group_key());
+    assert_eq!(Value::Str("2".into()).group_key(), "2");
+}
+
+#[test]
+fn rids_round_trip_through_relation_and_gather() {
+    let mut builder = Relation::builder("t")
+        .column("id", DataType::Int)
+        .column("v", DataType::Float);
+    for i in 0..100 {
+        builder = builder.row(vec![Value::Int(i), Value::Float(i as f64 * 0.5)]);
+    }
+    let rel = builder.build().unwrap();
+
+    // all_rids enumerates positions 0..len in order, and every rid addresses
+    // the row whose payload encodes it.
+    let rids = rel.all_rids();
+    assert_eq!(rids, (0..100u32).collect::<Vec<Rid>>());
+    for &rid in &rids {
+        assert_eq!(rel.value(rid as usize, 0), Value::Int(rid as i64));
+        assert_eq!(rel.row(rid as usize).rid(), rid);
+    }
+
+    // gather() re-rids the selected subset densely while preserving payloads,
+    // so rids stay positional after lineage-driven materialization.
+    let picked: Vec<Rid> = vec![7, 3, 99, 3];
+    let sub = rel.gather(&picked, "sub");
+    assert_eq!(sub.len(), picked.len());
+    assert_eq!(sub.all_rids(), vec![0, 1, 2, 3]);
+    for (new_rid, &old_rid) in picked.iter().enumerate() {
+        assert_eq!(sub.value(new_rid, 0), Value::Int(old_rid as i64));
+    }
+}
+
+#[test]
+fn database_catalog_errors() {
+    let rel = Relation::builder("t")
+        .column("a", DataType::Int)
+        .build()
+        .unwrap();
+    let mut db = Database::new();
+    db.register(rel.clone()).unwrap();
+    assert_eq!(
+        db.register(rel),
+        Err(StorageError::DuplicateRelation("t".into()))
+    );
+    assert_eq!(
+        db.relation("missing").err(),
+        Some(StorageError::UnknownRelation("missing".into()))
+    );
+}

@@ -17,7 +17,11 @@ fn main() {
     }
     .generate();
     let fds = paper_fds();
-    println!("physician table: {} rows; checking {} FDs", table.len(), fds.len());
+    println!(
+        "physician table: {} rows; checking {} FDs",
+        table.len(),
+        fds.len()
+    );
 
     for technique in [
         ProfilingTechnique::MetanomeUg,

@@ -47,7 +47,11 @@ fn main() -> smoke::core::Result<()> {
         .build();
 
     let linked = LinkedViews::build(&db, &v1, &v2, "X")?;
-    println!("V1 has {} marks, V2 has {} bars", linked.v1.relation.len(), linked.v2.relation.len());
+    println!(
+        "V1 has {} marks, V2 has {} bars",
+        linked.v1.relation.len(),
+        linked.v2.relation.len()
+    );
 
     // The user brushes the first two points of V1 (both "widget" rows).
     let highlighted = linked.brush(&[0, 1]);

@@ -48,13 +48,21 @@ fn main() -> smoke::core::Result<()> {
         .expect("Bob group exists");
 
     // Positionally-aligned backward lineage per input relation.
-    let cust = out.lineage.table("customers").unwrap().backward().lookup(bob);
+    let cust = out
+        .lineage
+        .table("customers")
+        .unwrap()
+        .backward()
+        .lookup(bob);
     let ords = out.lineage.table("orders").unwrap().backward().lookup(bob);
     println!("\nbackward lineage of Bob's output: customers {cust:?}, orders {ords:?}");
 
     let backward = vec![cust, ords];
     println!("which-provenance: {:?}", which_provenance(&backward));
-    println!("why-provenance (witnesses): {:?}", why_provenance(&backward));
+    println!(
+        "why-provenance (witnesses): {:?}",
+        why_provenance(&backward)
+    );
     println!(
         "how-provenance (polynomial): {}",
         how_provenance(&backward, &["a", "b"])

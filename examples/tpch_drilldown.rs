@@ -41,7 +41,10 @@ fn main() -> smoke::core::Result<()> {
     println!("\noverview (Q1): {} bars", overview.relation.len());
     for rid in 0..overview.relation.len() {
         let row = overview.relation.row_values(rid);
-        println!("  bar {rid}: flag={} status={} count={}", row[0], row[1], row[9]);
+        println!(
+            "  bar {rid}: flag={} status={} count={}",
+            row[0], row[1], row[9]
+        );
     }
 
     // Details on demand: backward lineage of bar 0.
@@ -51,10 +54,17 @@ fn main() -> smoke::core::Result<()> {
 
     // Zoom (Q1a): statistics by ship year/month over the bar's lineage.
     let zoom = consume_aggregate(lineitem, &lineage, &q1a_keys(), &drilldown_aggs())?;
-    println!("Q1a drill-down produced {} (year, month) groups", zoom.len());
+    println!(
+        "Q1a drill-down produced {} (year, month) groups",
+        zoom.len()
+    );
 
     // Filter (Q1b): templated predicate answered from the partitioned index.
-    let skipping = overview.artifacts.partitioned.as_ref().expect("skipping index");
+    let skipping = overview
+        .artifacts
+        .partitioned
+        .as_ref()
+        .expect("skipping index");
     let filtered = consume_with_skipping(
         lineitem,
         skipping,
@@ -72,7 +82,10 @@ fn main() -> smoke::core::Result<()> {
     // lineitem at all.
     let cube = overview.artifacts.cube.as_ref().expect("push-down cube");
     let by_tax = consume_from_cube(cube, bar)?;
-    println!("Q1c (group by l_tax) answered from the cube: {} rows", by_tax.len());
+    println!(
+        "Q1c (group by l_tax) answered from the cube: {} rows",
+        by_tax.len()
+    );
     assert!(by_tax.len() > 1);
     Ok(())
 }

@@ -97,7 +97,9 @@ fn logical_baseline_agrees_with_smoke_on_microbenchmark_data() {
         .group_by(&["z"], microbenchmark_aggs("v"))
         .build();
 
-    let smoke = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+    let smoke = Executor::new(CaptureMode::Inject)
+        .execute(&plan, &db)
+        .unwrap();
     let (capture, lineage) = run_logical(&plan, &db, LogicalTechnique::LogicIdx).unwrap();
     let lineage = lineage.unwrap();
     assert_eq!(capture.output, smoke.relation);
@@ -136,13 +138,20 @@ fn provenance_semantics_derived_from_join_lineage() {
         .join(PlanBuilder::scan("orders"), &["cid"], &["ocid"])
         .group_by(&["cname", "pname"], vec![AggExpr::count("cnt")])
         .build();
-    let out = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+    let out = Executor::new(CaptureMode::Inject)
+        .execute(&plan, &db)
+        .unwrap();
     let bob = out
         .find_output(|row| row[0] == Value::Str("Bob".into()))
         .unwrap();
 
     // Positionally-aligned backward lineage per relation.
-    let cust_lin = out.lineage.table("customers").unwrap().backward().lookup(bob);
+    let cust_lin = out
+        .lineage
+        .table("customers")
+        .unwrap()
+        .backward()
+        .lookup(bob);
     let ord_lin = out.lineage.table("orders").unwrap().backward().lookup(bob);
     assert_eq!(cust_lin, vec![0, 0]);
     assert_eq!(ord_lin, vec![0, 1]);

@@ -32,8 +32,12 @@ fn inject_defer_and_lazy_agree_on_backward_lineage() {
     let db = zipf_like_db(&zs, &vs);
     let plan = groupby_plan();
 
-    let inject = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
-    let defer = Executor::new(CaptureMode::Defer).execute(&plan, &db).unwrap();
+    let inject = Executor::new(CaptureMode::Inject)
+        .execute(&plan, &db)
+        .unwrap();
+    let defer = Executor::new(CaptureMode::Defer)
+        .execute(&plan, &db)
+        .unwrap();
     assert_eq!(inject.relation, defer.relation);
 
     let zipf = db.relation("zipf").unwrap();
@@ -102,10 +106,15 @@ fn spja_plan_with_join_selection_and_aggregation() {
     let plan = PlanBuilder::scan("orders")
         .join(PlanBuilder::scan("items"), &["o_id"], &["i_oid"])
         .select(Expr::col("price").gt(Expr::lit(10.0)))
-        .group_by(&["region"], vec![AggExpr::count("cnt"), AggExpr::sum("price", "total")])
+        .group_by(
+            &["region"],
+            vec![AggExpr::count("cnt"), AggExpr::sum("price", "total")],
+        )
         .build();
 
-    let out = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+    let out = Executor::new(CaptureMode::Inject)
+        .execute(&plan, &db)
+        .unwrap();
     assert_eq!(out.relation.len(), 2);
     check_lineage_round_trip(&out, "items").unwrap();
     check_lineage_round_trip(&out, "orders").unwrap();

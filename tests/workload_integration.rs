@@ -21,7 +21,12 @@ fn db() -> Database {
 
 fn normalized(rel: &Relation) -> Vec<Vec<String>> {
     let mut rows: Vec<Vec<String>> = (0..rel.len())
-        .map(|rid| rel.row_values(rid).iter().map(|v| format!("{v:.4}")).collect())
+        .map(|rid| {
+            rel.row_values(rid)
+                .iter()
+                .map(|v| format!("{v:.4}"))
+                .collect()
+        })
         .collect();
     rows.sort();
     rows
@@ -31,7 +36,9 @@ fn normalized(rel: &Relation) -> Vec<Vec<String>> {
 fn q1a_index_scan_matches_lazy_rewrite() {
     let db = db();
     let lineitem = db.relation("lineitem").unwrap();
-    let out = Executor::new(CaptureMode::Inject).execute(&q1(), &db).unwrap();
+    let out = Executor::new(CaptureMode::Inject)
+        .execute(&q1(), &db)
+        .unwrap();
     let base_sel = Expr::col("l_shipdate").lt(Expr::lit(q1_shipdate_cutoff()));
 
     for bar in 0..out.relation.len() as u32 {
@@ -61,7 +68,11 @@ fn data_skipping_partition_equals_filtered_index_scan() {
         ..Default::default()
     });
     let out = Executor::with_config(cfg).execute(&q1(), &db).unwrap();
-    let index = out.artifacts.partitioned.as_ref().expect("partitioned index");
+    let index = out
+        .artifacts
+        .partitioned
+        .as_ref()
+        .expect("partitioned index");
 
     let bar = 0u32;
     let rids = out.lineage.backward(&[bar], "lineitem");
@@ -88,7 +99,11 @@ fn data_skipping_partition_equals_filtered_index_scan() {
                 &drilldown_aggs(),
             )
             .unwrap();
-            assert_eq!(normalized(&skipped), normalized(&filtered), "{mode}/{instruct}");
+            assert_eq!(
+                normalized(&skipped),
+                normalized(&filtered),
+                "{mode}/{instruct}"
+            );
         }
     }
 }
@@ -119,7 +134,9 @@ fn aggregation_pushdown_cube_matches_index_scan() {
 #[test]
 fn pruned_relations_capture_nothing_but_results_are_identical() {
     let db = db();
-    let full = Executor::new(CaptureMode::Inject).execute(&q3(), &db).unwrap();
+    let full = Executor::new(CaptureMode::Inject)
+        .execute(&q3(), &db)
+        .unwrap();
     let cfg = CaptureConfig::inject()
         .default_directions(DirectionFilter::None)
         .prune("lineitem", DirectionFilter::BackwardOnly);
@@ -148,7 +165,9 @@ fn selection_pushdown_restricts_indexes_to_matching_rows() {
         ..Default::default()
     });
     let out = Executor::with_config(cfg).execute(&q1(), &db).unwrap();
-    let full = Executor::new(CaptureMode::Inject).execute(&q1(), &db).unwrap();
+    let full = Executor::new(CaptureMode::Inject)
+        .execute(&q1(), &db)
+        .unwrap();
     assert_eq!(out.relation, full.relation);
 
     let tax = lineitem.column_by_name("l_tax").unwrap().as_float();
@@ -160,5 +179,8 @@ fn selection_pushdown_restricts_indexes_to_matching_rows() {
         full_total += full.lineage.backward(&[bar], "lineitem").len();
         assert!(rids.iter().all(|&r| tax[r as usize] < cutoff));
     }
-    assert!(pruned_total < full_total, "push-down should shrink the index");
+    assert!(
+        pruned_total < full_total,
+        "push-down should shrink the index"
+    );
 }

@@ -1,0 +1,186 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset `smoke-core`'s external-store baseline uses:
+//! [`Bytes`] (cheaply cloneable immutable byte buffer, ordered and
+//! borrowable as `[u8]` so it can key a `BTreeMap`), [`BytesMut`], and the
+//! big-endian [`BufMut`] writers `put_u8`/`put_u32`/`put_u64`.
+
+#![warn(missing_docs)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply cloneable byte buffer.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates a new empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies `slice` into a new buffer.
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Bytes { data: slice.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            write!(f, "{:02x}", b)?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Big-endian write access to a growable buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u32` in big-endian byte order.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a `u64` in big-endian byte order.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_ordering() {
+        let mut buf = BytesMut::with_capacity(6);
+        buf.put_u8(1);
+        buf.put_u8(0);
+        buf.put_u32(256);
+        let frozen = buf.freeze();
+        assert_eq!(&frozen[..], &[1, 0, 0, 0, 1, 0]);
+
+        let small = Bytes::copy_from_slice(&[0, 0, 0, 1]);
+        let big = Bytes::copy_from_slice(&[0, 0, 1, 0]);
+        assert!(small < big, "big-endian keys sort numerically");
+    }
+
+    #[test]
+    fn borrow_allows_slice_lookup() {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<Bytes, i32> = BTreeMap::new();
+        map.insert(Bytes::copy_from_slice(b"key"), 7);
+        assert_eq!(map.get(b"key".as_slice()), Some(&7));
+    }
+}
