@@ -115,8 +115,13 @@ impl CrossfilterSession {
             let (backward, forward) = if technique == CrossfilterTechnique::Lazy {
                 (None, None)
             } else {
+                // Capture is done once per session; finalize the indexes into
+                // CSR so every subsequent interaction traces flat buffers.
                 let lin = result.lineage.input(0);
-                (lin.backward.clone(), lin.forward.clone())
+                (
+                    lin.backward.as_ref().map(LineageIndex::finalized),
+                    lin.forward.as_ref().map(LineageIndex::finalized),
+                )
             };
             views.push(View {
                 dimension: dim.to_string(),
@@ -182,6 +187,15 @@ impl CrossfilterSession {
             return Err(EngineError::InvalidPlan(format!(
                 "view index {view_idx} out of range"
             )));
+        }
+        // A bar that does not exist traces to nothing: refresh every other
+        // view to an empty result instead of panicking on the user-supplied
+        // position (consistent with out-of-bounds lineage lookups).
+        if bar as usize >= self.views[view_idx].bars() {
+            return self
+                .other_views(view_idx)
+                .map(|(_, view)| materialize_counts(view, &[]))
+                .collect();
         }
         match self.technique {
             CrossfilterTechnique::Lazy => self.interact_lazy(view_idx, bar),
@@ -457,5 +471,35 @@ mod tests {
         let session =
             CrossfilterSession::build(base(), &dims(), CrossfilterTechnique::Lazy).unwrap();
         assert!(session.interact(99, 0).is_err());
+    }
+
+    #[test]
+    fn out_of_range_bar_refreshes_to_empty_views() {
+        // A user-supplied bar beyond the view's range must not panic in any
+        // technique; it traces to nothing, so every refreshed view is empty.
+        let base = base();
+        for technique in [
+            CrossfilterTechnique::Lazy,
+            CrossfilterTechnique::BackwardTrace,
+            CrossfilterTechnique::BackwardForwardTrace,
+            CrossfilterTechnique::PartialCube,
+        ] {
+            let session = CrossfilterSession::build(base.clone(), &dims(), technique).unwrap();
+            let refreshed = session.interact(0, 9_999).unwrap();
+            assert_eq!(refreshed.len(), session.views().len() - 1);
+            for view in &refreshed {
+                assert_eq!(view.len(), 0, "technique {technique:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn captured_indexes_are_finalized_to_csr() {
+        let session =
+            CrossfilterSession::build(base(), &dims(), CrossfilterTechnique::BackwardTrace)
+                .unwrap();
+        for view in session.views() {
+            assert!(matches!(view.backward, Some(LineageIndex::Csr(_))));
+        }
     }
 }

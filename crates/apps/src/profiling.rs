@@ -211,8 +211,8 @@ fn distinct_with_lineage(table: &Relation, attr: &str, metanome: bool) -> Result
         Ok(DistinctView {
             output_keys,
             column_index,
-            backward_index: input.backward().clone(),
-            forward_index: input.forward().clone(),
+            backward_index: input.backward().finalized(),
+            forward_index: input.forward().finalized(),
         })
     } else {
         let result = group_by(table, &[attr.to_string()], &[], &GroupByOptions::inject())?;
@@ -223,8 +223,8 @@ fn distinct_with_lineage(table: &Relation, attr: &str, metanome: bool) -> Result
         Ok(DistinctView {
             output_keys,
             column_index,
-            backward_index: lin.backward().clone(),
-            forward_index: lin.forward().clone(),
+            backward_index: lin.backward().finalized(),
+            forward_index: lin.forward().finalized(),
         })
     }
 }

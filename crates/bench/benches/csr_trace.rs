@@ -1,0 +1,51 @@
+//! Criterion bench: backward-trace throughput of the Vec-of-RidArrays
+//! (`RidIndex`) representation versus the finalized CSR representation on
+//! the zipfian group-by microbench table (10k rows, 100 groups).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoke_core::microbenchmark_aggs;
+use smoke_core::ops::groupby::{group_by, GroupByOptions};
+use smoke_datagen::zipf::{zipf_table, ZipfSpec};
+use smoke_storage::Rid;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_trace");
+    group.sample_size(10);
+    for theta in [0.0f64, 1.0] {
+        let table = zipf_table(&ZipfSpec {
+            theta,
+            rows: 10_000,
+            groups: 100,
+            seed: 33,
+        });
+        let captured = group_by(
+            &table,
+            &["z".to_string()],
+            &microbenchmark_aggs("v"),
+            &GroupByOptions::inject(),
+        )
+        .unwrap();
+        let vec_of_vecs = captured.lineage.input(0).backward().clone();
+        let csr = vec_of_vecs.clone().finalize();
+        assert!(
+            csr.heap_bytes() < vec_of_vecs.heap_bytes(),
+            "CSR must be strictly more compact than Vec<RidArray>"
+        );
+
+        let positions: Vec<Rid> = (0..captured.output.len() as Rid).collect();
+        group.bench_with_input(
+            BenchmarkId::new("vec_of_vecs", theta.to_string()),
+            &positions,
+            |b, pos| b.iter(|| vec_of_vecs.trace_set(pos)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("csr", theta.to_string()),
+            &positions,
+            |b, pos| b.iter(|| csr.trace_set(pos)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,25 +4,34 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|all]
-//!             [--scale <factor>] [--runs <n>]
+//! experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|csr|all]
+//!             [--scale <factor>] [--runs <n>] [--json <path>]
 //! ```
 //!
 //! The default scale keeps the full suite at laptop/CI runtimes; pass
 //! `--scale 10` (or more) to approach the paper's dataset sizes.
 
-use smoke_bench::{apps_exp, micro, query_exp, render_table, tpch_exp, ExpRow, Scale};
+use smoke_bench::{apps_exp, micro, query_exp, render_json, render_table, tpch_exp, ExpRow, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
     let mut scale = Scale::default();
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--help" | "-h" => {
                 print_usage();
                 return;
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .expect("--json requires an output path"),
+                );
             }
             "--scale" => {
                 i += 1;
@@ -45,7 +54,7 @@ fn main() {
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = vec![
             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "fig21", "fig22", "fig23",
+            "fig15", "fig21", "fig22", "fig23", "csr",
         ]
         .into_iter()
         .map(String::from)
@@ -63,17 +72,22 @@ fn main() {
         all_rows.extend(rows);
     }
     println!("\ntotal measurements: {}", all_rows.len());
+    if let Some(path) = json_path {
+        std::fs::write(&path, render_json(&all_rows)).expect("failed to write --json output");
+        println!("wrote {} rows to {path}", all_rows.len());
+    }
 }
 
 fn print_usage() {
     println!(
-        "Usage: experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|all]\n\
-         \x20                  [--scale <factor>] [--runs <n>]\n\
+        "Usage: experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|csr|all]\n\
+         \x20                  [--scale <factor>] [--runs <n>] [--json <path>]\n\
          \n\
          Regenerates the data behind the figures of the Smoke evaluation and\n\
          prints it as aligned tables. The default scale keeps the full suite at\n\
          laptop/CI runtimes; pass --scale 10 (or more) to approach the paper's\n\
-         dataset sizes."
+         dataset sizes. `csr` compares the CSR and Vec-of-RidArrays lineage\n\
+         representations; --json additionally writes all rows to a JSON file."
     );
 }
 
@@ -95,6 +109,7 @@ fn run_experiment(name: &str, scale: &Scale) -> Vec<ExpRow> {
         }
         "fig15" => apps_exp::fig15(scale),
         "fig21" => micro::fig21(scale),
+        "csr" => micro::csr(scale),
         "fig22" => tpch_exp::fig22(scale),
         "fig23" => tpch_exp::fig23(scale),
         other => {
@@ -120,6 +135,7 @@ fn describe(name: &str) -> &'static str {
         "fig21" => "Figure 21: selection capture with selectivity estimates",
         "fig22" => "Figure 22: instrumentation pruning per input relation",
         "fig23" => "Figure 23: selection push-down capture latency",
+        "csr" => "CSR vs Vec-of-RidArrays lineage index representations",
         _ => "unknown experiment",
     }
 }

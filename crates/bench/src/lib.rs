@@ -93,6 +93,48 @@ pub fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Renders rows as a JSON array, for machine-readable artifacts such as the
+/// CI `BENCH_csr.json` perf snapshot. No external serializer: fields are
+/// plain strings (escaped) and finite floats (`null` otherwise).
+pub fn render_json(rows: &[ExpRow]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let value = if row.value.is_finite() {
+            row.value.to_string()
+        } else {
+            "null".to_string()
+        };
+        out.push_str(&format!(
+            "\n  {{\"experiment\":\"{}\",\"config\":\"{}\",\"technique\":\"{}\",\"metric\":\"{}\",\"value\":{}}}",
+            esc(&row.experiment),
+            esc(&row.config),
+            esc(&row.technique),
+            esc(&row.metric),
+            value,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
 /// Renders rows as an aligned text table.
 pub fn render_table(rows: &[ExpRow]) -> String {
     let mut out = String::new();
@@ -176,6 +218,24 @@ mod tests {
         assert!(table.contains("Smoke-I"));
         assert!(table.contains("Baseline"));
         assert_eq!(table.lines().count(), 4);
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let rows = vec![
+            ExpRow::new("csr", "n=10000,g=100", "CSR", "trace_ms", 1.25),
+            ExpRow::new("csr", "n=10000,g=100", "VecOfVecs", "heap_bytes", 4096.0),
+            ExpRow::new("x", "quote\"d", "back\\slash", "overhead_x", f64::INFINITY),
+        ];
+        let json = render_json(&rows);
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"technique\":\"CSR\""));
+        assert!(json.contains("\"value\":1.25"));
+        assert!(json.contains("quote\\\"d"));
+        assert!(json.contains("back\\\\slash"));
+        assert!(json.contains("\"value\":null"));
+        assert_eq!(json.matches("{\"experiment\"").count(), 3);
     }
 
     #[test]

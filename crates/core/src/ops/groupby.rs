@@ -24,8 +24,8 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use smoke_lineage::{
-    CaptureStats, InputLineage, LineageIndex, OperatorLineage, PartitionedRidIndex, RidArray,
-    RidIndex,
+    CaptureStats, CsrBuilder, InputLineage, LineageIndex, OperatorLineage, PartitionedRidIndex,
+    RidArray, RidIndex,
 };
 use smoke_storage::{Column, DataType, Relation, Rid, Value};
 
@@ -101,6 +101,9 @@ struct GroupEntry {
     states: Vec<AggState>,
     i_rids: RidArray,
     count: u32,
+    /// Rows that passed the selection push-down (== `count` without one);
+    /// the exact backward cardinality the Defer pass allocates with.
+    lineage_count: u32,
 }
 
 struct AggInputs<'a> {
@@ -210,6 +213,7 @@ pub fn group_by(
                     states: aggs.iter().map(AggExpr::new_state).collect(),
                     i_rids,
                     count: 0,
+                    lineage_count: 0,
                 });
                 e.insert(gid);
                 gid
@@ -227,6 +231,7 @@ pub fn group_by(
                 None => true,
             };
             if include {
+                entry.lineage_count += 1;
                 if capture_b && inject {
                     entry.i_rids.push(rid as Rid);
                 }
@@ -323,11 +328,16 @@ pub fn group_by(
         });
     }
 
-    // Defer pass: re-probe the pinned hash table with exact cardinalities.
+    // Defer pass: re-probe the pinned hash table. Per-group cardinalities
+    // are exact by now, so the backward index is built directly in CSR form —
+    // two flat buffers allocated once, zero resizes, no per-group arrays.
     let defer_start = Instant::now();
+    let mut deferred_backward: Option<CsrBuilder> = None;
     if !inject {
         if capture_b {
-            backward = RidIndex::with_capacities(groups.len(), |g| groups[g].count as usize);
+            deferred_backward = Some(CsrBuilder::with_counts(
+                groups.iter().map(|g| g.lineage_count as usize),
+            ));
         }
         if capture_f {
             forward = RidArray::filled(n);
@@ -342,8 +352,8 @@ pub fn group_by(
             }
             let key = extractor.key(rid);
             let gid = ht[&key];
-            if capture_b {
-                backward.append(gid as usize, rid as Rid);
+            if let Some(b) = deferred_backward.as_mut() {
+                b.append(gid as usize, rid as Rid);
             }
             if capture_f {
                 forward.set(rid, gid);
@@ -356,7 +366,14 @@ pub fn group_by(
         defer_start.elapsed()
     };
 
-    let backward_index = capture_b.then_some(LineageIndex::Index(backward));
+    let backward_index = if capture_b {
+        Some(match deferred_backward {
+            Some(b) => LineageIndex::Csr(b.finish()),
+            None => LineageIndex::Index(backward),
+        })
+    } else {
+        None
+    };
     let forward_index = capture_f.then_some(LineageIndex::Array(forward));
 
     let mut stats = CaptureStats {
@@ -514,8 +531,19 @@ mod tests {
                 defer.lineage.input(0).forward().lookup(rid)
             );
         }
-        // Defer incurs zero resizes thanks to exact pre-allocation.
+        // Defer incurs zero resizes thanks to exact pre-allocation, and
+        // builds its backward index directly in CSR form.
         assert_eq!(defer.lineage.input(0).resizes(), 0);
+        assert!(matches!(
+            defer.lineage.input(0).backward,
+            Some(LineageIndex::Csr(_))
+        ));
+        // The flat CSR layout is strictly more compact than Inject's
+        // Vec-of-RidArrays.
+        assert!(
+            defer.lineage.input(0).backward().heap_bytes()
+                < inject.lineage.input(0).backward().heap_bytes()
+        );
     }
 
     #[test]

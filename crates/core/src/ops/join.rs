@@ -24,7 +24,8 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use smoke_lineage::{
-    CaptureStats, InputLineage, LineageIndex, OperatorLineage, RidArray, RidIndex,
+    CaptureStats, CsrBuilder, CsrRidIndex, InputLineage, LineageIndex, OperatorLineage, RidArray,
+    RidIndex,
 };
 use smoke_storage::{Relation, Rid, Schema};
 
@@ -169,8 +170,10 @@ pub fn hash_join(
     let mut out_right: Vec<Rid> = Vec::with_capacity(prealloc);
 
     // Left forward index assembled as per-left-rid arrays so that hint-based
-    // or defer-based pre-allocation preserves its resize accounting.
-    let mut a_fw: Vec<RidArray> = if cap_a_f {
+    // pre-allocation preserves its resize accounting. Defer modes skip this
+    // entirely: they build the index in CSR form after the probe, when every
+    // per-entry cardinality is known exactly.
+    let mut a_fw: Vec<RidArray> = if cap_a_f && !defer_left && !defer_forward {
         let mut arrays: Vec<RidArray> = vec![RidArray::new(); left.len()];
         if let Some(hints) = &opts.hints {
             for (key, entry) in &ht {
@@ -226,30 +229,42 @@ pub fn hash_join(
     }
     let base_query = start.elapsed();
 
-    // Deferred construction of the left-side indexes.
+    // Deferred construction of the left-side indexes. The forward index is
+    // built directly in CSR form: per-left-rid cardinalities are exact after
+    // the probe, so both flat buffers are allocated once and never resized.
     let defer_start = Instant::now();
     let mut a_bw_deferred: Option<RidArray> = None;
+    let mut a_fw_deferred: Option<CsrRidIndex> = None;
     if defer_left || defer_forward {
         if defer_left && cap_a_b {
             a_bw_deferred = Some(RidArray::filled(out_counter));
         }
         if cap_a_f {
+            let mut counts = vec![0usize; left.len()];
+            for entry in ht.values() {
+                if entry.o_rids.is_empty() {
+                    continue;
+                }
+                for &l in &entry.rids {
+                    counts[l as usize] = entry.o_rids.len();
+                }
+            }
+            let mut builder = CsrBuilder::with_counts(counts);
             for entry in ht.values() {
                 if entry.o_rids.is_empty() {
                     continue;
                 }
                 for (j, &l) in entry.rids.iter().enumerate() {
-                    let mut arr = RidArray::with_capacity(entry.o_rids.len());
                     for &start_o in &entry.o_rids {
                         let o = start_o + j as Rid;
-                        arr.push(o);
+                        builder.append(l as usize, o);
                         if let Some(bw) = a_bw_deferred.as_mut() {
                             bw.set(o as usize, l);
                         }
                     }
-                    a_fw[l as usize] = arr;
                 }
             }
+            a_fw_deferred = Some(builder.finish());
         } else if defer_left && cap_a_b {
             for entry in ht.values() {
                 for (j, &l) in entry.rids.iter().enumerate() {
@@ -307,7 +322,14 @@ pub fn hash_join(
     } else {
         None
     };
-    let a_forward = cap_a_f.then(|| LineageIndex::Index(RidIndex::from_arrays(a_fw)));
+    let a_forward = if cap_a_f {
+        Some(match a_fw_deferred {
+            Some(csr) => LineageIndex::Csr(csr),
+            None => LineageIndex::Index(RidIndex::from_arrays(a_fw)),
+        })
+    } else {
+        None
+    };
     let b_backward = cap_b_b.then(|| LineageIndex::Array(RidArray::from_vec(out_right.clone())));
     let b_forward = if cap_b_f {
         Some(if pk_fk {
@@ -494,6 +516,13 @@ mod tests {
         .unwrap();
         assert!(!i.pk_fk);
         assert_eq!(i.output_rows, 5); // z=1: 2x2 matches, z=2: 1x1
+                                      // Defer modes build the left forward index directly in CSR form.
+        for result in [&d, &df] {
+            assert!(matches!(
+                result.lineage.input(0).forward,
+                Some(LineageIndex::Csr(_))
+            ));
+        }
         for result in [&d, &df] {
             assert_eq!(result.output, i.output);
             for o in 0..i.output_rows as Rid {

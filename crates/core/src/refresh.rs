@@ -77,11 +77,14 @@ pub fn refresh_after_delete(
         .ok_or_else(|| EngineError::InvalidPlan("refresh requires forward lineage".to_string()))?;
 
     let deleted: BTreeSet<Rid> = deleted_rids.iter().copied().collect();
-    // Forward propagation: the affected output records.
-    let affected: BTreeSet<Rid> = deleted_rids
-        .iter()
-        .flat_map(|&rid| forward.lookup(rid))
-        .collect();
+    // Forward propagation: the affected output records. `for_each` walks the
+    // index (CSR slices for finalized lineage) without per-rid allocations.
+    let mut affected: BTreeSet<Rid> = BTreeSet::new();
+    for &rid in deleted_rids {
+        forward.for_each(rid, |o| {
+            affected.insert(o);
+        });
+    }
 
     let agg_cols: Vec<Option<usize>> = aggs
         .iter()
@@ -95,9 +98,9 @@ pub fn refresh_after_delete(
     for &out in &affected {
         let mut states: Vec<AggState> = aggs.iter().map(AggExpr::new_state).collect();
         let mut remaining = 0usize;
-        for rid in backward.lookup(out) {
+        backward.for_each(out, |rid| {
             if deleted.contains(&rid) {
-                continue;
+                return;
             }
             remaining += 1;
             for (i, state) in states.iter_mut().enumerate() {
@@ -112,7 +115,7 @@ pub fn refresh_after_delete(
                     (_, None) => state.update(0.0),
                 }
             }
-        }
+        });
         refreshed.push(RefreshedOutput {
             output_rid: out,
             aggregates: states.iter().map(AggState::finalize).collect(),

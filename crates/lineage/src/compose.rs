@@ -7,43 +7,58 @@
 //! index that maps parent output rids directly to rids of the base relation
 //! `R`; the child's indexes can then be garbage collected.
 
+use crate::csr::CsrRidIndex;
 use crate::index::LineageIndex;
 use crate::rid_array::{RidArray, NO_RID};
 use crate::rid_index::RidIndex;
+use smoke_storage::Rid;
 
 /// Composes a parent backward index (parent-output → intermediate) with a
 /// child backward index (intermediate → base) into a backward index from
 /// parent output rids to base rids.
+///
+/// The composed index always covers exactly `parent.len()` positions, and its
+/// targets are always rids the child actually maps — identity indexes are
+/// truncated/filtered to their declared length rather than blindly cloned
+/// through.
 pub fn compose_backward(parent: &LineageIndex, child: &LineageIndex) -> LineageIndex {
-    // Identity parent: result is exactly the child's mapping.
-    if let LineageIndex::Identity(_) = parent {
-        return child.clone();
+    // Identity parent: the result is the child's mapping over exactly the
+    // parent's `n` positions.
+    if let LineageIndex::Identity(n) = parent {
+        return restrict_positions(child, *n);
     }
-    // Identity child: result is exactly the parent's mapping.
-    if let LineageIndex::Identity(_) = child {
-        return parent.clone();
+    // Identity child: the result is the parent's mapping, minus any target
+    // outside the identity's domain `0..n`.
+    if let LineageIndex::Identity(n) = child {
+        return restrict_targets(parent, *n);
     }
 
-    let one_to_one = matches!(parent, LineageIndex::Array(_))
-        && matches!(child, LineageIndex::Array(_) | LineageIndex::Identity(_));
-
-    if one_to_one {
-        let mut out = RidArray::with_capacity(parent.len());
-        for pos in 0..parent.len() {
-            match parent.single(pos as u32).and_then(|mid| child.single(mid)) {
-                Some(base) => out.push(base),
-                None => out.push(NO_RID),
+    match (parent, child) {
+        // 1-to-1 chain stays an array. (Identity children were fully handled
+        // above, so they no longer appear in this match.)
+        (LineageIndex::Array(_), LineageIndex::Array(_)) => {
+            let mut out = RidArray::with_capacity(parent.len());
+            for pos in 0..parent.len() {
+                match parent.single(pos as u32).and_then(|mid| child.single(mid)) {
+                    Some(base) => out.push(base),
+                    None => out.push(NO_RID),
+                }
             }
+            LineageIndex::Array(out)
         }
-        LineageIndex::Array(out)
-    } else {
-        let mut out = RidIndex::with_len(parent.len());
-        for pos in 0..parent.len() {
-            parent.for_each(pos as u32, |mid| {
-                child.for_each(mid, |base| out.append(pos, base));
-            });
+        // CSR parent: per-position output cardinalities are computable from
+        // the child in a first pass, so the composed index is built directly
+        // in CSR form — two exactly-sized buffers, zero resizes.
+        (LineageIndex::Csr(p), _) => LineageIndex::Csr(compose_csr(p, child)),
+        _ => {
+            let mut out = RidIndex::with_len(parent.len());
+            for pos in 0..parent.len() {
+                parent.for_each(pos as u32, |mid| {
+                    child.for_each(mid, |base| out.append(pos, base));
+                });
+            }
+            LineageIndex::Index(out)
         }
-        LineageIndex::Index(out)
     }
 }
 
@@ -55,6 +70,141 @@ pub fn compose_backward(parent: &LineageIndex, child: &LineageIndex) -> LineageI
 /// arguments swapped: the traversal starts from base rids.
 pub fn compose_forward(child: &LineageIndex, parent: &LineageIndex) -> LineageIndex {
     compose_backward(child, parent)
+}
+
+/// CSR×(Array|CSR|Index) composition: count pass over the flat buffers, then
+/// a sequential fill into exactly-sized output buffers.
+fn compose_csr(parent: &CsrRidIndex, child: &LineageIndex) -> CsrRidIndex {
+    // The child representation is dispatched ONCE, into a per-mid slice
+    // accessor shared by the count and fill passes — the two can never
+    // disagree on per-mid cardinality, and each variant gets its own
+    // monomorphized pair of tight loops.
+    fn build<'c>(parent: &CsrRidIndex, get: impl Fn(Rid) -> &'c [Rid]) -> CsrRidIndex {
+        let mut offsets = Vec::with_capacity(parent.len() + 1);
+        offsets.push(0u32);
+        let mut total = 0u64;
+        for pos in 0..parent.len() {
+            for &mid in parent.get(pos) {
+                total += get(mid).len() as u64;
+            }
+            offsets.push(crate::csr::checked_offset(total));
+        }
+        let mut rids: Vec<Rid> = Vec::with_capacity(total as usize);
+        for pos in 0..parent.len() {
+            for &mid in parent.get(pos) {
+                rids.extend_from_slice(get(mid));
+            }
+        }
+        CsrRidIndex::from_parts(offsets, rids)
+    }
+
+    match child {
+        // Array's 1-to-(0|1) targets are viewed as sub-slices of its backing
+        // buffer (empty at NO_RID gaps) so it flows through the same shared
+        // count/fill passes as the other variants.
+        LineageIndex::Array(a) => build(parent, |mid| a.slice_checked(mid as usize)),
+        LineageIndex::Csr(c) => build(parent, |mid| c.get_checked(mid as usize)),
+        LineageIndex::Index(i) => build(parent, |mid| i.get_checked(mid as usize)),
+        LineageIndex::Identity(_) => unreachable!("identity children are handled earlier"),
+    }
+}
+
+/// `Identity(n) ∘ child`: the child's mapping restricted (or extended with
+/// empty entries) to exactly `n` positions.
+fn restrict_positions(child: &LineageIndex, n: usize) -> LineageIndex {
+    if n == child.len() {
+        return child.clone();
+    }
+    match child {
+        LineageIndex::Array(a) => {
+            let mut data: Vec<Rid> = a.iter().take(n).collect();
+            data.resize(n, NO_RID);
+            LineageIndex::Array(RidArray::from_vec(data))
+        }
+        LineageIndex::Index(i) => LineageIndex::Index(RidIndex::from_entries(
+            (0..n).map(|p| i.get_checked(p).to_vec()).collect(),
+        )),
+        LineageIndex::Csr(c) => {
+            let (offsets, rids) = if n < c.len() {
+                let offsets: Vec<u32> = c.offsets()[..=n].to_vec();
+                let end = offsets[n] as usize;
+                (offsets, c.rids()[..end].to_vec())
+            } else {
+                let mut offsets = c.offsets().to_vec();
+                offsets.resize(n + 1, *offsets.last().expect("offsets never empty"));
+                (offsets, c.rids().to_vec())
+            };
+            LineageIndex::Csr(CsrRidIndex::from_parts(offsets, rids))
+        }
+        LineageIndex::Identity(m) => {
+            if n <= *m {
+                LineageIndex::Identity(n)
+            } else {
+                // The child covers fewer positions: the tail has no lineage.
+                let mut data: Vec<Rid> = (0..*m as Rid).collect();
+                data.resize(n, NO_RID);
+                LineageIndex::Array(RidArray::from_vec(data))
+            }
+        }
+    }
+}
+
+/// `parent ∘ Identity(n)`: the parent's mapping with every target outside the
+/// identity's domain `0..n` dropped.
+fn restrict_targets(parent: &LineageIndex, n: usize) -> LineageIndex {
+    let in_domain = |r: Rid| (r as usize) < n;
+    match parent {
+        LineageIndex::Array(a) => {
+            let clean = a.iter().all(|r| r == NO_RID || in_domain(r));
+            if clean {
+                parent.clone()
+            } else {
+                LineageIndex::Array(RidArray::from_vec(
+                    a.iter()
+                        .map(|r| {
+                            if r != NO_RID && in_domain(r) {
+                                r
+                            } else {
+                                NO_RID
+                            }
+                        })
+                        .collect(),
+                ))
+            }
+        }
+        LineageIndex::Index(i) => {
+            let clean = i
+                .iter()
+                .all(|(_, rids)| rids.iter().copied().all(in_domain));
+            if clean {
+                parent.clone()
+            } else {
+                LineageIndex::Index(RidIndex::from_entries(
+                    i.iter()
+                        .map(|(_, rids)| rids.iter().copied().filter(|&r| in_domain(r)).collect())
+                        .collect(),
+                ))
+            }
+        }
+        LineageIndex::Csr(c) => {
+            let survivors = c.rids().iter().copied().filter(|&r| in_domain(r)).count();
+            if survivors == c.edge_count() {
+                parent.clone()
+            } else {
+                // Pre-counted so both buffers stay exactly sized, preserving
+                // the CSR contract that `heap_bytes` carries no slack.
+                let mut offsets = Vec::with_capacity(c.len() + 1);
+                offsets.push(0u32);
+                let mut rids = Vec::with_capacity(survivors);
+                for (_, entry) in c.iter() {
+                    rids.extend(entry.iter().copied().filter(|&r| in_domain(r)));
+                    offsets.push(crate::csr::checked_offset(rids.len() as u64));
+                }
+                LineageIndex::Csr(CsrRidIndex::from_parts(offsets, rids))
+            }
+        }
+        LineageIndex::Identity(_) => unreachable!("identity parents are handled earlier"),
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +250,103 @@ mod tests {
         assert_eq!(through_identity.lookup(0), vec![2, 3]);
         let identity_first = compose_backward(&LineageIndex::Identity(2), &idx);
         assert_eq!(identity_first.lookup(1), vec![4]);
+    }
+
+    #[test]
+    fn identity_parent_truncates_longer_child() {
+        // Identity(2) parent over a child covering 4 positions: the composed
+        // index must cover exactly 2 positions.
+        let child = LineageIndex::Array(RidArray::from_vec(vec![7, 8, 9, 10]));
+        let composed = compose_backward(&LineageIndex::Identity(2), &child);
+        assert_eq!(composed.len(), 2);
+        assert_eq!(composed.lookup(0), vec![7]);
+        assert_eq!(composed.lookup(1), vec![8]);
+        assert_eq!(composed.lookup(2), Vec::<Rid>::new());
+
+        let child_idx = LineageIndex::Index(RidIndex::from_entries(vec![
+            vec![1, 2],
+            vec![3],
+            vec![4, 5],
+        ]));
+        let composed = compose_backward(&LineageIndex::Identity(1), &child_idx);
+        assert_eq!(composed.len(), 1);
+        assert_eq!(composed.lookup(0), vec![1, 2]);
+        assert_eq!(composed.edge_count(), 2);
+
+        let child_csr = child_idx.finalize();
+        let composed_csr = compose_backward(&LineageIndex::Identity(1), &child_csr);
+        assert_eq!(composed_csr.len(), 1);
+        assert_eq!(composed_csr.lookup(0), vec![1, 2]);
+    }
+
+    #[test]
+    fn identity_parent_extends_shorter_child_with_empty_lineage() {
+        let child = LineageIndex::Array(RidArray::from_vec(vec![7, 8]));
+        let composed = compose_backward(&LineageIndex::Identity(4), &child);
+        assert_eq!(composed.len(), 4);
+        assert_eq!(composed.lookup(1), vec![8]);
+        assert_eq!(composed.lookup(2), Vec::<Rid>::new());
+        assert_eq!(composed.lookup(3), Vec::<Rid>::new());
+    }
+
+    #[test]
+    fn identity_child_drops_out_of_domain_targets() {
+        // Parent maps to intermediate rids {0,1,2,5}; Identity(3) child only
+        // covers intermediate rids 0..3, so target 5 must be dropped.
+        let parent = LineageIndex::Index(RidIndex::from_entries(vec![vec![0, 5], vec![1, 2]]));
+        let composed = compose_backward(&parent, &LineageIndex::Identity(3));
+        assert_eq!(composed.len(), 2);
+        assert_eq!(composed.lookup(0), vec![0]);
+        assert_eq!(composed.lookup(1), vec![1, 2]);
+        assert_eq!(composed.edge_count(), 3);
+
+        // Same through an array parent: out-of-domain becomes NO_RID.
+        let parent = LineageIndex::Array(RidArray::from_vec(vec![2, 9, 0]));
+        let composed = compose_backward(&parent, &LineageIndex::Identity(3));
+        assert_eq!(composed.len(), 3);
+        assert_eq!(composed.lookup(0), vec![2]);
+        assert_eq!(composed.lookup(1), Vec::<Rid>::new());
+        assert_eq!(composed.lookup(2), vec![0]);
+
+        // And through a CSR parent.
+        let parent =
+            LineageIndex::Index(RidIndex::from_entries(vec![vec![0, 5], vec![1, 2]])).finalize();
+        let composed = compose_backward(&parent, &LineageIndex::Identity(3));
+        assert!(matches!(composed, LineageIndex::Csr(_)));
+        assert_eq!(composed.lookup(0), vec![0]);
+        assert_eq!(composed.lookup(1), vec![1, 2]);
+    }
+
+    #[test]
+    fn csr_parent_fast_paths_match_general_composition() {
+        let parent_entries = vec![vec![0, 2], vec![1], vec![], vec![2, 0, 1]];
+        let parent_idx = LineageIndex::Index(RidIndex::from_entries(parent_entries));
+        let parent_csr = parent_idx.clone().finalize();
+
+        // CSR×Array.
+        let mut child_arr = RidArray::filled(3);
+        child_arr.set(0, 10);
+        child_arr.set(2, 12);
+        let child = LineageIndex::Array(child_arr);
+        let general = compose_backward(&parent_idx, &child);
+        let fast = compose_backward(&parent_csr, &child);
+        assert!(matches!(fast, LineageIndex::Csr(_)));
+        assert_eq!(fast.len(), general.len());
+        for pos in 0..general.len() as Rid {
+            assert_eq!(fast.lookup(pos), general.lookup(pos));
+        }
+
+        // CSR×CSR.
+        let child_n =
+            LineageIndex::Index(RidIndex::from_entries(vec![vec![5, 6], vec![], vec![7]]));
+        let child_csr = child_n.clone().finalize();
+        let general = compose_backward(&parent_idx, &child_n);
+        let fast = compose_backward(&parent_csr, &child_csr);
+        assert!(matches!(fast, LineageIndex::Csr(_)));
+        for pos in 0..general.len() as Rid {
+            assert_eq!(fast.lookup(pos), general.lookup(pos));
+        }
+        assert_eq!(fast.edge_count(), general.edge_count());
     }
 
     #[test]

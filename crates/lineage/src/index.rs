@@ -2,6 +2,7 @@
 
 use smoke_storage::Rid;
 
+use crate::csr::CsrRidIndex;
 use crate::rid_array::{RidArray, NO_RID};
 use crate::rid_index::RidIndex;
 
@@ -10,7 +11,12 @@ use crate::rid_index::RidIndex;
 ///
 /// The representation mirrors paper §3.1:
 /// * [`LineageIndex::Array`] — 1-to-(0|1) relationships (rid array);
-/// * [`LineageIndex::Index`] — 1-to-N relationships (rid index);
+/// * [`LineageIndex::Index`] — 1-to-N relationships (rid index), the write
+///   side: entries grow independently while the operator runs;
+/// * [`LineageIndex::Csr`] — 1-to-N relationships in compressed-sparse-row
+///   form, the read side: two contiguous exactly-sized buffers, built
+///   directly by Defer capture (cardinalities known up front) or by
+///   [`LineageIndex::finalize`] after an Inject build;
 /// * [`LineageIndex::Identity`] — the identity mapping used by bag-semantics
 ///   projection where input and output rids coincide, stored without any
 ///   materialization.
@@ -20,6 +26,8 @@ pub enum LineageIndex {
     Array(RidArray),
     /// Many related rids per position.
     Index(RidIndex),
+    /// Many related rids per position, in compressed-sparse-row form.
+    Csr(CsrRidIndex),
     /// Identity mapping over `len` positions.
     Identity(usize),
 }
@@ -30,6 +38,7 @@ impl LineageIndex {
         match self {
             LineageIndex::Array(a) => a.len(),
             LineageIndex::Index(i) => i.len(),
+            LineageIndex::Csr(c) => c.len(),
             LineageIndex::Identity(n) => *n,
         }
     }
@@ -47,6 +56,7 @@ impl LineageIndex {
                 None => vec![],
             },
             LineageIndex::Index(i) => i.get_checked(pos as usize).to_vec(),
+            LineageIndex::Csr(c) => c.get_checked(pos as usize).to_vec(),
             LineageIndex::Identity(n) => {
                 if (pos as usize) < *n {
                     vec![pos]
@@ -71,6 +81,11 @@ impl LineageIndex {
                     f(r);
                 }
             }
+            LineageIndex::Csr(c) => {
+                for &r in c.get_checked(pos as usize) {
+                    f(r);
+                }
+            }
             LineageIndex::Identity(n) => {
                 if (pos as usize) < *n {
                     f(pos);
@@ -86,6 +101,14 @@ impl LineageIndex {
             LineageIndex::Identity(n) => ((pos as usize) < *n).then_some(pos),
             LineageIndex::Index(i) => {
                 let rids = i.get_checked(pos as usize);
+                if rids.len() == 1 {
+                    Some(rids[0])
+                } else {
+                    None
+                }
+            }
+            LineageIndex::Csr(c) => {
+                let rids = c.get_checked(pos as usize);
                 if rids.len() == 1 {
                     Some(rids[0])
                 } else {
@@ -110,11 +133,17 @@ impl LineageIndex {
                     }
                 } else {
                     if seen.is_empty() {
-                        seen = vec![false; self.max_target_hint().max(r as usize + 1)];
+                        // The bitmap must cover every rid already recorded in
+                        // `out`, not just the hint and the current rid —
+                        // otherwise large early rids are never marked and get
+                        // emitted again on their next occurrence.
+                        let mut size = self.max_target_hint().max(r as usize + 1);
                         for &o in &out {
-                            if (o as usize) < seen.len() {
-                                seen[o as usize] = true;
-                            }
+                            size = size.max(o as usize + 1);
+                        }
+                        seen = vec![false; size];
+                        for &o in &out {
+                            seen[o as usize] = true;
                         }
                     }
                     if (r as usize) >= seen.len() {
@@ -146,6 +175,7 @@ impl LineageIndex {
         match self {
             LineageIndex::Array(a) => a.iter().filter(|&r| r != NO_RID).count(),
             LineageIndex::Index(i) => i.edge_count(),
+            LineageIndex::Csr(c) => c.edge_count(),
             LineageIndex::Identity(n) => *n,
         }
     }
@@ -155,6 +185,7 @@ impl LineageIndex {
         match self {
             LineageIndex::Array(a) => a.heap_bytes(),
             LineageIndex::Index(i) => i.heap_bytes(),
+            LineageIndex::Csr(c) => c.heap_bytes(),
             LineageIndex::Identity(_) => 0,
         }
     }
@@ -164,7 +195,29 @@ impl LineageIndex {
         match self {
             LineageIndex::Array(a) => a.resizes() as u64,
             LineageIndex::Index(i) => i.resizes(),
+            // CSR indexes are allocated exactly once by construction.
+            LineageIndex::Csr(_) => 0,
             LineageIndex::Identity(_) => 0,
+        }
+    }
+
+    /// Converts the write-optimized [`LineageIndex::Index`] representation
+    /// into read-optimized [`LineageIndex::Csr`] form in one pass; all other
+    /// representations are returned unchanged (they are already compact).
+    pub fn finalize(self) -> LineageIndex {
+        match self {
+            LineageIndex::Index(i) => LineageIndex::Csr(CsrRidIndex::from(&i)),
+            other => other,
+        }
+    }
+
+    /// Borrowing form of [`LineageIndex::finalize`]: converts an `Index`
+    /// straight from the borrowed entries instead of deep-cloning the
+    /// per-entry arrays first.
+    pub fn finalized(&self) -> LineageIndex {
+        match self {
+            LineageIndex::Index(i) => LineageIndex::Csr(CsrRidIndex::from(i)),
+            other => other.clone(),
         }
     }
 
@@ -258,8 +311,56 @@ mod tests {
     }
 
     #[test]
+    fn trace_set_keeps_large_early_rids_marked() {
+        // Regression: rid 5000 shows up among the first 64 distinct results
+        // (while dedup is still the linear scan) and again after the bitmap
+        // path engages. The bitmap used to be sized from the hint (0 for
+        // Index) and the current rid only, so 5000 was never marked and its
+        // second occurrence was emitted twice.
+        let mut entries: Vec<Vec<Rid>> = vec![vec![5000]];
+        entries.extend((0..70).map(|i| vec![i as Rid]));
+        entries.push(vec![5000]);
+        let idx = LineageIndex::Index(RidIndex::from_entries(entries));
+        let positions: Vec<Rid> = (0..idx.len() as Rid).collect();
+        let traced = idx.trace_set(&positions);
+        assert_eq!(
+            traced.iter().filter(|&&r| r == 5000).count(),
+            1,
+            "rid 5000 must be emitted exactly once"
+        );
+        assert_eq!(traced.len(), 71);
+        assert_eq!(traced[0], 5000); // order of first appearance
+    }
+
+    #[test]
+    fn csr_variant_matches_index_variant() {
+        let idx = rid_index();
+        let csr = idx.clone().finalize();
+        assert!(matches!(csr, LineageIndex::Csr(_)));
+        assert_eq!(csr.len(), idx.len());
+        assert_eq!(csr.edge_count(), idx.edge_count());
+        assert_eq!(csr.resizes(), 0);
+        for pos in 0..idx.len() as Rid + 2 {
+            assert_eq!(csr.lookup(pos), idx.lookup(pos));
+            assert_eq!(csr.single(pos), idx.single(pos));
+        }
+        assert_eq!(csr.trace_set(&[0, 2, 0]), idx.trace_set(&[0, 2, 0]));
+        // finalize leaves the other representations alone.
+        assert_eq!(array_index().finalize(), array_index());
+        assert_eq!(
+            LineageIndex::Identity(4).finalize(),
+            LineageIndex::Identity(4)
+        );
+    }
+
+    #[test]
     fn for_each_matches_lookup() {
-        for idx in [array_index(), rid_index(), LineageIndex::Identity(5)] {
+        for idx in [
+            array_index(),
+            rid_index(),
+            rid_index().finalize(),
+            LineageIndex::Identity(5),
+        ] {
             for pos in 0..idx.len() as Rid {
                 let mut collected = Vec::new();
                 idx.for_each(pos, |r| collected.push(r));

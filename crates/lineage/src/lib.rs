@@ -11,7 +11,9 @@
 //! * [`RidArray`] — one rid per entry, for 1-to-1 relationships (e.g. the
 //!   backward lineage of a selection);
 //! * [`RidIndex`] — an inverted index whose `i`-th entry is a rid array, for
-//!   1-to-N relationships (e.g. the backward lineage of a group-by).
+//!   1-to-N relationships (e.g. the backward lineage of a group-by);
+//! * [`CsrRidIndex`] — the same 1-to-N mapping finalized into two contiguous
+//!   exactly-sized buffers (compressed sparse row) for read-heavy tracing.
 //!
 //! Following the paper (and the high-performance vector libraries it cites),
 //! rid arrays start with capacity 10 and grow by 1.5× on overflow; the resize
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod compose;
+mod csr;
 mod index;
 mod operator;
 mod partitioned;
@@ -42,6 +45,7 @@ pub mod semantics;
 mod stats;
 
 pub use compose::{compose_backward, compose_forward};
+pub use csr::{CsrBuilder, CsrRidIndex};
 pub use index::LineageIndex;
 pub use operator::{InputLineage, OperatorLineage, QueryLineage};
 pub use partitioned::{PartitionKey, PartitionedRidIndex};

@@ -71,6 +71,15 @@ impl InputLineage {
         self.backward.as_ref().map_or(0, LineageIndex::resizes)
             + self.forward.as_ref().map_or(0, LineageIndex::resizes)
     }
+
+    /// Finalizes both captured directions into read-optimized representations
+    /// (`Index` → `Csr`; everything else is already compact).
+    pub fn finalize(self) -> Self {
+        InputLineage {
+            backward: self.backward.map(LineageIndex::finalize),
+            forward: self.forward.map(LineageIndex::finalize),
+        }
+    }
 }
 
 /// The lineage captured while executing one physical operator, keyed by the
@@ -197,6 +206,17 @@ impl QueryLineage {
     pub fn resizes(&self) -> u64 {
         self.tables.values().map(InputLineage::resizes).sum()
     }
+
+    /// Finalizes every captured index into its read-optimized representation
+    /// (`Index` → `Csr`), shrinking steady-state memory once capture is done.
+    pub fn finalize(mut self) -> Self {
+        self.tables = self
+            .tables
+            .into_iter()
+            .map(|(table, lineage)| (table, lineage.finalize()))
+            .collect();
+        self
+    }
 }
 
 #[cfg(test)]
@@ -252,5 +272,23 @@ mod tests {
     fn pruned_backward_panics_with_message() {
         let lin = InputLineage::forward_only(LineageIndex::Identity(1));
         let _ = lin.backward();
+    }
+
+    #[test]
+    fn finalize_converts_index_directions_to_csr() {
+        let mut q = QueryLineage::new();
+        q.insert("zipf", groupby_like_lineage());
+        let before_bytes = q.heap_bytes();
+        let q = q.finalize();
+        let lin = q.table("zipf").unwrap();
+        assert!(matches!(lin.backward, Some(LineageIndex::Csr(_))));
+        // The forward array was already compact and stays an array.
+        assert!(matches!(lin.forward, Some(LineageIndex::Array(_))));
+        assert!(q.heap_bytes() < before_bytes);
+        assert_eq!(lin.backward().lookup(0), vec![0, 2, 4]);
+
+        let input = groupby_like_lineage().finalize();
+        assert!(matches!(input.backward, Some(LineageIndex::Csr(_))));
+        assert_eq!(input.resizes(), 0);
     }
 }

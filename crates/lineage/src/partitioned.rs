@@ -126,6 +126,23 @@ impl PartitionedRidIndex {
             })
             .sum()
     }
+
+    /// Flattens the partitioned index into an unpartitioned CSR backward
+    /// index: entry `i` holds all rids of output `i` across its partitions
+    /// (in partition-key order), equivalent to calling [`Self::all`] for
+    /// every output but stored in two exactly-sized flat buffers.
+    pub fn finalize(&self) -> crate::CsrRidIndex {
+        let mut offsets = Vec::with_capacity(self.entries.len() + 1);
+        offsets.push(0u32);
+        let mut rids = Vec::with_capacity(self.edge_count());
+        for entry in &self.entries {
+            for v in entry.values() {
+                rids.extend_from_slice(v);
+            }
+            offsets.push(crate::csr::checked_offset(rids.len() as u64));
+        }
+        crate::CsrRidIndex::from_parts(offsets, rids)
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +185,21 @@ mod tests {
         assert_eq!(idx.len(), 4);
         assert_eq!(idx.partition(3, "x"), &[9]);
         assert_eq!(idx.partition(0, "x"), &[] as &[Rid]);
+    }
+
+    #[test]
+    fn finalize_flattens_to_csr() {
+        let idx = sample();
+        let csr = idx.finalize();
+        assert_eq!(csr.len(), 2);
+        assert_eq!(csr.edge_count(), idx.edge_count());
+        for out_rid in 0..idx.len() {
+            let mut expected = idx.all(out_rid);
+            expected.sort_unstable();
+            let mut got = csr.get(out_rid).to_vec();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        }
     }
 
     #[test]

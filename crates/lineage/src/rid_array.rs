@@ -97,6 +97,18 @@ impl RidArray {
         }
     }
 
+    /// The entry at `pos` viewed as a sub-slice of the backing buffer: one
+    /// element, or empty when `pos` is out of bounds or holds the [`NO_RID`]
+    /// sentinel. Lets 1-to-(0|1) arrays flow through slice-based code paths
+    /// shared with the 1-to-N representations.
+    #[inline]
+    pub fn slice_checked(&self, pos: usize) -> &[Rid] {
+        match self.data.get(pos) {
+            Some(&r) if r != NO_RID => &self.data[pos..=pos],
+            _ => &[],
+        }
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.data.len()

@@ -123,6 +123,12 @@ impl RidIndex {
         self.entries.iter().map(RidArray::heap_bytes).sum::<usize>()
             + self.entries.capacity() * std::mem::size_of::<RidArray>()
     }
+
+    /// Converts this write-optimized index into read-optimized
+    /// compressed-sparse-row form in one pass over its entries.
+    pub fn finalize(&self) -> crate::CsrRidIndex {
+        crate::CsrRidIndex::from(self)
+    }
 }
 
 #[cfg(test)]

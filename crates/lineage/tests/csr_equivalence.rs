@@ -1,0 +1,95 @@
+//! Property-based equivalence between the Vec-of-RidArrays and CSR
+//! representations of 1-to-N lineage indexes.
+//!
+//! For random rid indexes the CSR conversion must agree with the source on
+//! every read (`lookup`, `for_each`, `edge_count`, `single`), and
+//! `trace_set` must produce identical, duplicate-free, first-appearance
+//! ordered output regardless of representation.
+
+use proptest::prelude::*;
+use smoke_lineage::{CsrRidIndex, LineageIndex, Rid, RidIndex};
+
+/// Strategy: a random rid index as per-entry rid vectors, with rids large
+/// enough to exercise the `trace_set` bitmap path.
+fn entries_strategy() -> impl Strategy<Value = Vec<Vec<Rid>>> {
+    prop::collection::vec(prop::collection::vec(0u32..5_000, 0..12), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csr_agrees_with_rid_index_on_every_read(entries in entries_strategy()) {
+        let idx = RidIndex::from_entries(entries);
+        let csr = CsrRidIndex::from(&idx);
+
+        prop_assert_eq!(csr.len(), idx.len());
+        prop_assert_eq!(csr.edge_count(), idx.edge_count());
+        // Probe two positions past the end to cover the checked paths.
+        for pos in 0..idx.len() + 2 {
+            prop_assert_eq!(csr.get_checked(pos), idx.get_checked(pos));
+            let mut from_csr = Vec::new();
+            csr.for_each(pos, |r| from_csr.push(r));
+            prop_assert_eq!(from_csr.as_slice(), idx.get_checked(pos));
+        }
+    }
+
+    #[test]
+    fn lineage_index_variants_are_interchangeable(entries in entries_strategy()) {
+        let index = LineageIndex::Index(RidIndex::from_entries(entries));
+        let csr = index.clone().finalize();
+
+        prop_assert_eq!(csr.len(), index.len());
+        prop_assert_eq!(csr.edge_count(), index.edge_count());
+        prop_assert_eq!(csr.resizes(), 0);
+        for pos in 0..(index.len() + 2) as Rid {
+            prop_assert_eq!(csr.lookup(pos), index.lookup(pos));
+            prop_assert_eq!(csr.single(pos), index.single(pos));
+        }
+    }
+
+    #[test]
+    fn trace_set_is_duplicate_free_and_order_stable(
+        entries in entries_strategy(),
+        positions in prop::collection::vec(0u32..50, 0..120),
+    ) {
+        let index = LineageIndex::Index(RidIndex::from_entries(entries));
+        let csr = index.clone().finalize();
+
+        let traced = index.trace_set(&positions);
+        // Identical across representations (including result order).
+        prop_assert_eq!(&traced, &csr.trace_set(&positions));
+
+        // Duplicate-free.
+        let mut dedup = traced.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), traced.len(), "trace_set emitted duplicates");
+
+        // Order-stable: first-appearance order of the underlying multiset.
+        let multiset = index.trace_multiset(&positions);
+        let mut expected = Vec::new();
+        for r in multiset {
+            if !expected.contains(&r) {
+                expected.push(r);
+            }
+        }
+        prop_assert_eq!(traced, expected);
+    }
+
+    #[test]
+    fn finalized_indexes_use_strictly_less_heap(entries in entries_strategy()) {
+        let idx = RidIndex::from_entries(entries);
+        let csr = CsrRidIndex::from(&idx);
+        if !idx.is_empty() {
+            // Two exactly-sized flat buffers beat one RidArray header per
+            // entry for every non-empty index.
+            prop_assert!(
+                csr.heap_bytes() < idx.heap_bytes(),
+                "csr {} >= vec-of-vecs {}",
+                csr.heap_bytes(),
+                idx.heap_bytes()
+            );
+        }
+    }
+}
