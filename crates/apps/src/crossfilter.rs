@@ -24,6 +24,7 @@ use smoke_core::ops::groupby::{group_by, GroupByOptions};
 use smoke_core::query::consume_aggregate;
 use smoke_core::{AggExpr, CaptureMode, DirectionFilter, EngineError, Result};
 use smoke_lineage::LineageIndex;
+use smoke_planner::{LineagePlanner, LineageQuery};
 use smoke_storage::{Column, DataType, Field, Relation, Rid, Schema, Value};
 
 /// The crossfilter evaluation techniques compared in the paper.
@@ -243,14 +244,24 @@ impl CrossfilterSession {
             .collect()
     }
 
-    /// BT: index scan over the backward lineage of the highlighted bar, then
-    /// re-aggregate per view (rebuilding group-by hash tables).
-    fn interact_bt(&self, view_idx: usize, bar: Rid) -> Result<Vec<Relation>> {
-        let brushed = &self.views[view_idx];
-        let backward = brushed.backward.as_ref().ok_or_else(|| {
-            EngineError::InvalidPlan("BT interaction requires backward lineage".into())
+    /// The lineage planner over the brushed view's captured indexes.
+    fn planner_for<'s>(&'s self, view: &'s View, need: &str) -> Result<LineagePlanner<'s>> {
+        let backward = view.backward.as_ref().ok_or_else(|| {
+            EngineError::InvalidPlan(format!("{need} interaction requires backward lineage"))
         })?;
-        let rids = backward.lookup(bar);
+        let mut planner = LineagePlanner::new(&self.base, &view.output).backward_index(backward);
+        if let Some(forward) = view.forward.as_ref() {
+            planner = planner.forward_index(forward);
+        }
+        Ok(planner)
+    }
+
+    /// BT: one planner-compiled backward trace of the highlighted bar (an
+    /// `EagerTrace` index scan), then a per-dimension re-aggregation of the
+    /// shared rid set for every other view (rebuilding group-by hash tables).
+    fn interact_bt(&self, view_idx: usize, bar: Rid) -> Result<Vec<Relation>> {
+        let planner = self.planner_for(&self.views[view_idx], "BT")?;
+        let rids = planner.execute(&LineageQuery::backward().rids([bar]))?.rids;
         self.other_views(view_idx)
             .map(|(_, view)| {
                 consume_aggregate(
@@ -263,14 +274,12 @@ impl CrossfilterSession {
             .collect()
     }
 
-    /// BT+FT: use forward indexes as perfect hash functions from base rids to
-    /// bars — no hash tables are rebuilt.
+    /// BT+FT: backward-trace through the planner, then use forward indexes as
+    /// perfect hash functions from base rids to bars — no hash tables are
+    /// rebuilt.
     fn interact_btft(&self, view_idx: usize, bar: Rid) -> Result<Vec<Relation>> {
-        let brushed = &self.views[view_idx];
-        let backward = brushed.backward.as_ref().ok_or_else(|| {
-            EngineError::InvalidPlan("BT+FT interaction requires backward lineage".into())
-        })?;
-        let rids = backward.lookup(bar);
+        let planner = self.planner_for(&self.views[view_idx], "BT+FT")?;
+        let rids = planner.execute(&LineageQuery::backward().rids([bar]))?.rids;
 
         let other: Vec<(usize, &View)> = self.other_views(view_idx).collect();
         let mut counts: Vec<Vec<u64>> = other.iter().map(|(_, v)| vec![0u64; v.bars()]).collect();

@@ -10,7 +10,12 @@
 //!   detection and bipartite-graph construction with the `Smoke-CD`,
 //!   `Smoke-UG`, and `Metanome-UG` (simulated) techniques;
 //! * [`brushing`] — the linked-brushing interaction of the paper's Figure 1,
-//!   expressed as a backward query followed by a forward query.
+//!   expressed as a backward query followed by a forward query, served as a
+//!   single composed-index trace.
+//!
+//! All three applications issue their lineage(-consuming) queries through
+//! the declarative [`smoke_planner`] API rather than raw index calls, so the
+//! cost-based planner owns the strategy choice.
 
 #![warn(missing_docs)]
 

@@ -25,7 +25,8 @@ use smoke_core::baselines::physical::{LineageSink, PhysMemSink};
 use smoke_core::ops::groupby::{group_by, GroupByOptions};
 use smoke_core::{AggExpr, Result};
 use smoke_datagen::physician::FunctionalDependency;
-use smoke_storage::{Relation, Rid};
+use smoke_planner::{LineagePlanner, LineageQuery};
+use smoke_storage::{Column, DataType, Field, Relation, Rid, Schema};
 
 /// The data-profiling techniques compared in the paper's Figure 15.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,7 +81,10 @@ pub fn check_fd(
     Ok(report)
 }
 
-/// `Smoke-CD`: one instrumented group-by on the determinant column.
+/// `Smoke-CD`: one instrumented group-by on the determinant column; the
+/// violating groups' backward traces (the bipartite graph edges) are served
+/// as one planner batch, which fans the per-violation rid sets out over
+/// `std::thread` workers.
 fn check_cd(table: &Relation, fd: &FunctionalDependency) -> Result<FdViolationReport> {
     let result = group_by(
         table,
@@ -89,17 +93,19 @@ fn check_cd(table: &Relation, fd: &FunctionalDependency) -> Result<FdViolationRe
         &GroupByOptions::inject(),
     )?;
     let distinct_col = result.output.column_by_name("distinct_rhs")?.as_int();
-    let backward = result.lineage.input(0).backward();
 
     let mut violations = Vec::new();
-    let mut bipartite = HashMap::new();
+    let mut violating_sets: Vec<Vec<Rid>> = Vec::new();
     for (gid, &distinct) in distinct_col.iter().enumerate() {
         if distinct > 1 {
-            let key = result.output.value(gid, 0).group_key();
-            bipartite.insert(key.clone(), backward.lookup(gid as Rid));
-            violations.push(key);
+            violations.push(result.output.value(gid, 0).group_key());
+            violating_sets.push(vec![gid as Rid]);
         }
     }
+    let planner = LineagePlanner::new(table, &result.output)
+        .backward_index(result.lineage.input(0).backward());
+    let traced = planner.execute_batch(&LineageQuery::backward(), &violating_sets)?;
+    let bipartite: HashMap<String, Vec<Rid>> = violations.iter().cloned().zip(traced).collect();
     violations.sort();
     Ok(FdViolationReport {
         fd: fd.clone(),
@@ -119,11 +125,16 @@ fn check_ug(
     let lhs_view = distinct_with_lineage(table, &fd.lhs, metanome)?;
     let rhs_view = distinct_with_lineage(table, &fd.rhs, metanome)?;
 
+    // Backward trace every distinct A value to its base tuples in one
+    // planner batch (parallel across distinct values).
+    let planner =
+        LineagePlanner::new(table, &lhs_view.output).backward_index(&lhs_view.backward_index);
+    let sets: Vec<Vec<Rid>> = (0..lhs_view.len() as Rid).map(|a| vec![a]).collect();
+    let all_tuples = planner.execute_batch(&LineageQuery::backward(), &sets)?;
+
     let mut violations = Vec::new();
     let mut bipartite = HashMap::new();
-    for a in 0..lhs_view.output_keys.len() {
-        // Backward trace the distinct A value to the base tuples...
-        let tuples = lhs_view.backward(a as Rid);
+    for (a, tuples) in all_tuples.into_iter().enumerate() {
         // ...then forward trace each tuple to the distinct-B view and count
         // distinct B outputs.
         let mut distinct_b: BTreeSet<Rid> = BTreeSet::new();
@@ -151,7 +162,7 @@ fn check_ug(
         } else if distinct_b.len() <= 1 {
             continue;
         }
-        let key = lhs_view.output_keys[a].clone();
+        let key = lhs_view.key(a);
         bipartite.insert(key.clone(), tuples);
         violations.push(key);
     }
@@ -166,16 +177,26 @@ fn check_ug(
 
 /// A `SELECT DISTINCT attr` view plus lineage, optionally captured through
 /// the virtual-call sink (Metanome simulation).
+///
+/// The distinct values live only in the output relation's first column; keys
+/// are rendered on demand instead of being duplicated in a parallel vector.
 struct DistinctView {
-    output_keys: Vec<String>,
+    /// The distinct view's output relation (one row per distinct value).
+    output: Relation,
     column_index: usize,
     backward_index: smoke_lineage::LineageIndex,
     forward_index: smoke_lineage::LineageIndex,
 }
 
 impl DistinctView {
-    fn backward(&self, out: Rid) -> Vec<Rid> {
-        self.backward_index.lookup(out)
+    /// Number of distinct values.
+    fn len(&self) -> usize {
+        self.output.len()
+    }
+
+    /// The group key of the `a`-th distinct value.
+    fn key(&self, a: usize) -> String {
+        self.output.value(a, 0).group_key()
     }
 
     fn forward(&self, rid: Rid) -> Option<Rid> {
@@ -208,20 +229,25 @@ fn distinct_with_lineage(table: &Relation, attr: &str, metanome: bool) -> Result
         }
         let lineage = sink.into_lineage("table");
         let input = lineage.table("table").expect("registered above");
+        // Metanome models every attribute as a string; the collected keys
+        // move into the relation's column without re-allocation.
+        let schema = Schema::new(vec![Field::new(attr.to_string(), DataType::Str)])?;
+        let output = Relation::from_columns(
+            format!("distinct({attr})"),
+            schema,
+            vec![Column::Str(output_keys)],
+        )?;
         Ok(DistinctView {
-            output_keys,
+            output,
             column_index,
             backward_index: input.backward().finalized(),
             forward_index: input.forward().finalized(),
         })
     } else {
         let result = group_by(table, &[attr.to_string()], &[], &GroupByOptions::inject())?;
-        let output_keys = (0..result.output.len())
-            .map(|rid| result.output.value(rid, 0).group_key())
-            .collect();
         let lin = result.lineage.input(0);
         Ok(DistinctView {
-            output_keys,
+            output: result.output,
             column_index,
             backward_index: lin.backward().finalized(),
             forward_index: lin.forward().finalized(),

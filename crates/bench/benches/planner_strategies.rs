@@ -1,0 +1,74 @@
+//! Criterion bench: the planner's four strategies on one lineage-consuming
+//! drill-down over the zipfian group-by workload (10k rows, 100 groups,
+//! 8 `v_bin` partitions), plus the planner's own cost-based choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoke_bench::planner_exp::BINS;
+use smoke_core::ops::groupby::{group_by, GroupByOptions};
+use smoke_core::{AggExpr, AggPushdown, Expr};
+use smoke_datagen::zipf::{zipf_table_binned, ZipfSpec};
+use smoke_planner::{LineagePlanner, LineageQuery, RewriteInfo, Strategy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_strategies");
+    group.sample_size(10);
+
+    let table = zipf_table_binned(
+        &ZipfSpec {
+            theta: 1.0,
+            rows: 10_000,
+            groups: 100,
+            seed: 21,
+        },
+        BINS,
+    );
+    let mut opts = GroupByOptions::inject();
+    opts.workload.skipping_partition_by = vec!["v_bin".to_string()];
+    opts.workload.agg_pushdown = Some(AggPushdown {
+        partition_by: vec!["v_bin".to_string()],
+        aggs: vec![AggExpr::count("cnt")],
+    });
+    let captured = group_by(&table, &["z".to_string()], &[AggExpr::count("cnt")], &opts).unwrap();
+    let planner = LineagePlanner::new(&table, &captured.output)
+        .lineage(captured.lineage.input(0))
+        .artifacts(&captured.artifacts)
+        .rewrite(RewriteInfo::new(vec!["z".to_string()], None))
+        .stats(captured.stats);
+
+    let drilldown = LineageQuery::backward()
+        .rids([0])
+        .aggregate(&["v_bin"], vec![AggExpr::count("cnt")]);
+    let skipped = LineageQuery::backward()
+        .rids([0])
+        .filter(Expr::col("v_bin").eq(Expr::lit(3)))
+        .aggregate(&["v_bin"], vec![AggExpr::count("cnt")]);
+
+    for (shape, query) in [("drilldown", &drilldown), ("skipped", &skipped)] {
+        let explain = planner.explain(query).unwrap();
+        for strategy in [
+            Strategy::EagerTrace,
+            Strategy::LazyRewrite,
+            Strategy::PartitionPruned,
+            Strategy::CubeHit,
+        ] {
+            if explain
+                .candidate_cost(strategy)
+                .is_none_or(|cost| !cost.is_finite())
+            {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(strategy.to_string(), shape),
+                query,
+                |b, q| b.iter(|| planner.execute_with(strategy, q).unwrap()),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("PlannerChoice", shape), query, |b, q| {
+            b.iter(|| planner.execute(q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,14 +4,16 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|csr|all]
+//! experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|csr|planner|all]
 //!             [--scale <factor>] [--runs <n>] [--json <path>]
 //! ```
 //!
 //! The default scale keeps the full suite at laptop/CI runtimes; pass
 //! `--scale 10` (or more) to approach the paper's dataset sizes.
 
-use smoke_bench::{apps_exp, micro, query_exp, render_json, render_table, tpch_exp, ExpRow, Scale};
+use smoke_bench::{
+    apps_exp, micro, planner_exp, query_exp, render_json, render_table, tpch_exp, ExpRow, Scale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,7 +56,7 @@ fn main() {
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = vec![
             "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "fig21", "fig22", "fig23", "csr",
+            "fig15", "fig21", "fig22", "fig23", "csr", "planner",
         ]
         .into_iter()
         .map(String::from)
@@ -80,14 +82,16 @@ fn main() {
 
 fn print_usage() {
     println!(
-        "Usage: experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|csr|all]\n\
+        "Usage: experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|csr|planner|all]\n\
          \x20                  [--scale <factor>] [--runs <n>] [--json <path>]\n\
          \n\
          Regenerates the data behind the figures of the Smoke evaluation and\n\
          prints it as aligned tables. The default scale keeps the full suite at\n\
          laptop/CI runtimes; pass --scale 10 (or more) to approach the paper's\n\
          dataset sizes. `csr` compares the CSR and Vec-of-RidArrays lineage\n\
-         representations; --json additionally writes all rows to a JSON file."
+         representations; `planner` compares the cost-based planner's eager /\n\
+         lazy / pruned / cube strategies on the zipfian group-by workload;\n\
+         --json additionally writes all rows to a JSON file."
     );
 }
 
@@ -110,6 +114,7 @@ fn run_experiment(name: &str, scale: &Scale) -> Vec<ExpRow> {
         "fig15" => apps_exp::fig15(scale),
         "fig21" => micro::fig21(scale),
         "csr" => micro::csr(scale),
+        "planner" => planner_exp::planner(scale),
         "fig22" => tpch_exp::fig22(scale),
         "fig23" => tpch_exp::fig23(scale),
         other => {
@@ -136,6 +141,7 @@ fn describe(name: &str) -> &'static str {
         "fig22" => "Figure 22: instrumentation pruning per input relation",
         "fig23" => "Figure 23: selection push-down capture latency",
         "csr" => "CSR vs Vec-of-RidArrays lineage index representations",
+        "planner" => "Planner: eager vs lazy vs pruned vs cube strategy latency",
         _ => "unknown experiment",
     }
 }

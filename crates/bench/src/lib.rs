@@ -14,6 +14,7 @@
 
 pub mod apps_exp;
 pub mod micro;
+pub mod planner_exp;
 pub mod query_exp;
 pub mod tpch_exp;
 
@@ -77,6 +78,34 @@ pub fn time_avg<T>(runs: usize, warmup: usize, mut f: impl FnMut() -> T) -> Dura
         }
     }
     total / counted
+}
+
+/// Rows surfacing a [`smoke_lineage::CaptureStats`] record (rid resizes,
+/// edges written, lineage bytes) so BENCH artifacts record capture overhead
+/// alongside latency, per the paper's overhead breakdowns.
+pub fn capture_stat_rows(
+    experiment: &str,
+    config: &str,
+    technique: &str,
+    stats: &smoke_lineage::CaptureStats,
+) -> Vec<ExpRow> {
+    vec![
+        ExpRow::new(
+            experiment,
+            config,
+            technique,
+            "rid_resizes",
+            stats.rid_resizes as f64,
+        ),
+        ExpRow::new(experiment, config, technique, "edges", stats.edges as f64),
+        ExpRow::new(
+            experiment,
+            config,
+            technique,
+            "lineage_bytes",
+            stats.lineage_bytes as f64,
+        ),
+    ]
 }
 
 /// Relative overhead of `instrumented` versus `baseline` (e.g. `0.7` means

@@ -9,7 +9,7 @@ use smoke_core::{microbenchmark_aggs, CardinalityHints, Expr, HashKey, PlanBuild
 use smoke_datagen::zipf::{gids_table, zipf_table, zipf_table_named, ZipfSpec};
 use smoke_storage::Database;
 
-use crate::{ms, overhead, time_avg, ExpRow, Scale};
+use crate::{capture_stat_rows, ms, overhead, time_avg, ExpRow, Scale};
 
 /// Figure 5: group-by aggregation capture latency across relation sizes and
 /// group counts for Baseline, Smoke-I, Smoke-D, Logic-Rid, Logic-Tup,
@@ -103,6 +103,17 @@ pub fn fig5(scale: &Scale) -> Vec<ExpRow> {
                 group_by_with_sink(&table, &keys, &aggs, &mut sink).unwrap()
             });
             push("Phys-Bdb", phys_bdb);
+
+            // Where the capture overhead goes (rid resizes, edges written,
+            // lineage bytes) — the paper's overhead breakdowns, recorded in
+            // the same artifact as the latency rows.
+            for (technique, opts) in [
+                ("Smoke-I", GroupByOptions::inject()),
+                ("Smoke-D", GroupByOptions::defer()),
+            ] {
+                let out = group_by(&table, &keys, &aggs, &opts).unwrap();
+                rows.extend(capture_stat_rows("fig5", &config, technique, &out.stats));
+            }
         }
     }
     rows
@@ -369,6 +380,14 @@ pub fn csr(scale: &Scale) -> Vec<ExpRow> {
             index.heap_bytes() as f64,
         ));
     }
+    // Capture-side overhead breakdown for the instrumented group-by that
+    // produced the index under test.
+    rows.extend(capture_stat_rows(
+        "csr",
+        &config,
+        "Smoke-I",
+        &captured.stats,
+    ));
     rows
 }
 
@@ -421,7 +440,15 @@ mod tests {
         };
         assert!(heap("CSR") < heap("VecOfVecs"));
         assert!(rows.iter().all(|r| r.value.is_finite()));
-        assert_eq!(rows.len(), 6);
+        // 3 metrics per representation + 3 capture-overhead rows.
+        assert_eq!(rows.len(), 9);
+        for metric in ["rid_resizes", "edges", "lineage_bytes"] {
+            assert!(
+                rows.iter()
+                    .any(|r| r.technique == "Smoke-I" && r.metric == metric),
+                "missing capture stat {metric}"
+            );
+        }
     }
 
     #[test]

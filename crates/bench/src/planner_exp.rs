@@ -1,0 +1,184 @@
+//! Planner strategy comparison on the zipfian group-by workload.
+//!
+//! One instrumented group-by captures every artifact the planner can choose
+//! among (backward/forward indexes, a `v_bin`-partitioned rid index, and a
+//! pushed-down cube), then three lineage-consuming query shapes are
+//! evaluated with every feasible strategy — plus the planner's own choice —
+//! so the `BENCH_planner.json` artifact records measured latency next to the
+//! cost model's estimates and the chosen strategy per shape.
+
+use smoke_core::ops::groupby::{group_by, GroupByOptions};
+use smoke_core::{AggExpr, AggPushdown, Expr};
+use smoke_datagen::zipf::{zipf_table_binned, ZipfSpec};
+use smoke_planner::{LineagePlanner, LineageQuery, RewriteInfo, Strategy};
+
+use crate::{capture_stat_rows, ms, time, time_avg, ExpRow, Scale};
+
+/// Number of `v_bin` partitions the workload templates on.
+pub const BINS: usize = 8;
+
+/// The `planner` experiment: strategy latencies, cost estimates, capture
+/// stats, and the planner's choice per query shape.
+pub fn planner(scale: &Scale) -> Vec<ExpRow> {
+    let mut rows = Vec::new();
+    let n = scale.size(100_000, 2_000);
+    let groups = 100usize;
+    let table = zipf_table_binned(
+        &ZipfSpec {
+            theta: 1.0,
+            rows: n,
+            groups,
+            seed: 21,
+        },
+        BINS,
+    );
+
+    // Capture with both workload-aware artifacts requested.
+    let mut opts = GroupByOptions::inject();
+    opts.workload.skipping_partition_by = vec!["v_bin".to_string()];
+    opts.workload.agg_pushdown = Some(AggPushdown {
+        partition_by: vec!["v_bin".to_string()],
+        aggs: vec![AggExpr::count("cnt"), AggExpr::sum("v", "total")],
+    });
+    let (captured, capture_time) =
+        time(|| group_by(&table, &["z".to_string()], &[AggExpr::count("cnt")], &opts).unwrap());
+    let config = format!("n={n},g={groups},bins={BINS}");
+    rows.push(ExpRow::new(
+        "planner",
+        &config,
+        "capture",
+        "capture_ms",
+        ms(capture_time),
+    ));
+    rows.extend(capture_stat_rows(
+        "planner",
+        &config,
+        "capture",
+        &captured.stats,
+    ));
+
+    let planner = LineagePlanner::new(&table, &captured.output)
+        .lineage(captured.lineage.input(0))
+        .artifacts(&captured.artifacts)
+        .rewrite(RewriteInfo::new(vec!["z".to_string()], None))
+        .stats(captured.stats);
+
+    // Drill into the most popular group (the worst-case trace width).
+    let top = captured
+        .output
+        .column_by_name("cnt")
+        .unwrap()
+        .as_int()
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(g, _)| g as u32)
+        .unwrap_or(0);
+
+    let shapes = [
+        (
+            // Matches the pushed-down cube exactly.
+            "drilldown",
+            LineageQuery::backward().rids([top]).aggregate(
+                &["v_bin"],
+                vec![AggExpr::count("cnt"), AggExpr::sum("v", "total")],
+            ),
+        ),
+        (
+            // Equality on the partition attribute: data-skipping territory.
+            "skipped_count",
+            LineageQuery::backward()
+                .rids([top])
+                .filter(Expr::col("v_bin").eq(Expr::lit(3)))
+                .aggregate(&["v_bin"], vec![AggExpr::count("cnt")]),
+        ),
+        (
+            // A plain backward trace.
+            "plain_trace",
+            LineageQuery::backward().rids([top]),
+        ),
+    ];
+
+    for (shape, query) in &shapes {
+        let explain = planner.explain(query).expect("workload always plannable");
+        let config_q = format!("{config},q={shape}");
+        for strategy in [
+            Strategy::EagerTrace,
+            Strategy::LazyRewrite,
+            Strategy::PartitionPruned,
+            Strategy::CubeHit,
+        ] {
+            let Some(cost) = explain.candidate_cost(strategy) else {
+                continue;
+            };
+            if !cost.is_finite() {
+                continue;
+            }
+            let latency = time_avg(scale.runs, scale.warmup, || {
+                planner.execute_with(strategy, query).unwrap()
+            });
+            let technique = strategy.to_string();
+            rows.push(ExpRow::new(
+                "planner",
+                &config_q,
+                &technique,
+                "query_ms",
+                ms(latency),
+            ));
+            rows.push(ExpRow::new(
+                "planner", &config_q, &technique, "est_cost", cost,
+            ));
+        }
+        // The planner's pick, as both a flag row and an end-to-end latency
+        // (including planning itself).
+        rows.push(ExpRow::new(
+            "planner",
+            &config_q,
+            explain.strategy.to_string(),
+            "chosen",
+            1.0,
+        ));
+        let planned = time_avg(scale.runs, scale.warmup, || planner.execute(query).unwrap());
+        rows.push(ExpRow::new(
+            "planner",
+            &config_q,
+            "PlannerChoice",
+            "query_ms",
+            ms(planned),
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planner_experiment_exercises_three_distinct_strategies() {
+        let rows = planner(&Scale::tiny());
+        let chosen: std::collections::HashSet<&str> = rows
+            .iter()
+            .filter(|r| r.metric == "chosen")
+            .map(|r| r.technique.as_str())
+            .collect();
+        assert!(chosen.contains("CubeHit"), "chosen = {chosen:?}");
+        assert!(chosen.contains("PartitionPruned"), "chosen = {chosen:?}");
+        assert!(chosen.contains("EagerTrace"), "chosen = {chosen:?}");
+        // Capture overhead is surfaced alongside latency.
+        for metric in ["rid_resizes", "edges", "lineage_bytes", "capture_ms"] {
+            assert!(
+                rows.iter().any(|r| r.metric == metric),
+                "missing {metric} row"
+            );
+        }
+        assert!(rows.iter().all(|r| r.value.is_finite()));
+        // Every shape also reports the planner's end-to-end latency.
+        assert_eq!(
+            rows.iter()
+                .filter(|r| r.technique == "PlannerChoice")
+                .count(),
+            3
+        );
+    }
+}

@@ -27,4 +27,4 @@ pub mod zipf;
 pub use ontime::OntimeSpec;
 pub use physician::PhysicianSpec;
 pub use tpch::TpchSpec;
-pub use zipf::{gids_table, zipf_table, ZipfSpec};
+pub use zipf::{gids_table, zipf_table, zipf_table_binned, ZipfSpec};

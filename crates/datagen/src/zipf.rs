@@ -94,6 +94,48 @@ pub fn zipf_table_named(spec: &ZipfSpec, name: &str) -> Relation {
     .expect("columns match schema")
 }
 
+/// Generates `zipf(id, z, v, v_bin)`: the microbenchmark relation extended
+/// with `v_bin`, the value `v` discretized into `bins` equi-width buckets
+/// over `[0, 100)`.
+///
+/// `v_bin` is the categorical partition attribute the workload-aware
+/// experiments (data skipping, group-by push-down, and the planner's
+/// strategy comparison) template their lineage-consuming queries on; the
+/// paper notes such attributes are categorical or discretized (§4.2). The
+/// first three columns are [`zipf_table`]'s output itself, so
+/// `zipf_table_binned(spec, b)` agrees with `zipf_table(spec)` on `id`,
+/// `z`, and `v` by construction.
+pub fn zipf_table_binned(spec: &ZipfSpec, bins: usize) -> Relation {
+    assert!(bins > 0, "bin count must be positive");
+    let plain = zipf_table(spec);
+    let width = 100.0 / bins as f64;
+    let vbins: Vec<i64> = plain
+        .column_by_name("v")
+        .expect("zipf_table always has v")
+        .as_float()
+        .iter()
+        .map(|&v| ((v / width) as i64).min(bins as i64 - 1))
+        .collect();
+    let schema = Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("z", DataType::Int),
+        Field::new("v", DataType::Float),
+        Field::new("v_bin", DataType::Int),
+    ])
+    .expect("static schema");
+    Relation::from_columns(
+        "zipf",
+        schema,
+        vec![
+            plain.column(0).clone(),
+            plain.column(1).clone(),
+            plain.column(2).clone(),
+            Column::Int(vbins),
+        ],
+    )
+    .expect("columns match schema")
+}
+
 /// Generates the `gids(id, label)` dimension table referenced by the pk-fk
 /// join microbenchmark: one row per distinct group value.
 pub fn gids_table(groups: usize) -> Relation {
@@ -178,6 +220,37 @@ mod tests {
             .copied()
             .collect();
         assert_eq!(distinct.len(), 50);
+    }
+
+    #[test]
+    fn binned_table_agrees_with_plain_table_and_bounds_bins() {
+        let spec = ZipfSpec {
+            rows: 2_000,
+            groups: 20,
+            theta: 1.0,
+            seed: 11,
+        };
+        let plain = zipf_table(&spec);
+        let binned = zipf_table_binned(&spec, 4);
+        assert_eq!(binned.schema().names(), vec!["id", "z", "v", "v_bin"]);
+        assert_eq!(
+            plain.column_by_name("z").unwrap().as_int(),
+            binned.column_by_name("z").unwrap().as_int()
+        );
+        assert_eq!(
+            plain.column_by_name("v").unwrap().as_float(),
+            binned.column_by_name("v").unwrap().as_float()
+        );
+        let vs = binned.column_by_name("v").unwrap().as_float();
+        let bins = binned.column_by_name("v_bin").unwrap().as_int();
+        let mut seen = std::collections::HashSet::new();
+        for (&v, &b) in vs.iter().zip(bins) {
+            assert!((0..4).contains(&b));
+            assert_eq!(b, ((v / 25.0) as i64).min(3));
+            seen.insert(b);
+        }
+        // 2000 uniform draws cover every bucket.
+        assert_eq!(seen.len(), 4);
     }
 
     #[test]

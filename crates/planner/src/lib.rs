@@ -1,0 +1,67 @@
+//! # smoke-planner
+//!
+//! A cost-based planner for **lineage-consumption queries**, unifying the
+//! capture-time artifacts of the Smoke engine (Psallidas & Wu, VLDB 2018)
+//! behind one declarative API.
+//!
+//! Smoke's central argument is that lineage consumption should pick among
+//! whatever was captured: eager rid indexes (§3), lazy relational rewrites
+//! (§2.1), partitioned rid indexes for data skipping, and pushed-down cubes
+//! (§4.2). This crate is the layer that owns that choice:
+//!
+//! * [`LineageQuery`] — a declarative builder: direction (backward /
+//!   forward / multi-view), rid-set or predicate selection, an optional
+//!   compose chain into other views, and an optional filter + group-by
+//!   aggregation over the traced rows;
+//! * [`LineagePlanner`] — holds one traced view's relations and artifacts,
+//!   compiles queries into [`LineagePlan`]s via a cost model fed by
+//!   [`smoke_lineage::CaptureStats`], index `edge_count`s, relation
+//!   cardinalities, and the query's selection width;
+//! * [`Strategy`] — the four execution strategies: [`Strategy::EagerTrace`],
+//!   [`Strategy::LazyRewrite`], [`Strategy::PartitionPruned`], and
+//!   [`Strategy::CubeHit`];
+//! * [`Explain`] — names the chosen strategy, its cost estimate, and every
+//!   candidate considered;
+//! * a unified [`LineageResult`] (traced rids + optional answer relation)
+//!   and a `std::thread`-parallel batch path
+//!   ([`LineagePlanner::execute_batch`]) for multi-rid-set traces.
+//!
+//! ```
+//! use smoke_core::ops::groupby::{group_by, GroupByOptions};
+//! use smoke_core::AggExpr;
+//! use smoke_planner::{LineagePlanner, LineageQuery, Strategy};
+//! use smoke_storage::{DataType, Relation, Value};
+//!
+//! let mut b = Relation::builder("zipf")
+//!     .column("z", DataType::Int)
+//!     .column("v", DataType::Float);
+//! for (z, v) in [(1, 10.0), (2, 20.0), (1, 30.0)] {
+//!     b = b.row(vec![Value::Int(z), Value::Float(v)]);
+//! }
+//! let table = b.build().unwrap();
+//! let captured = group_by(
+//!     &table,
+//!     &["z".to_string()],
+//!     &[AggExpr::count("cnt")],
+//!     &GroupByOptions::inject(),
+//! )
+//! .unwrap();
+//!
+//! let planner = LineagePlanner::new(&table, &captured.output)
+//!     .lineage(captured.lineage.input(0));
+//! let query = LineageQuery::backward().rids([0]);
+//! let plan = planner.plan(&query).unwrap();
+//! assert_eq!(plan.strategy, Strategy::EagerTrace);
+//! let result = planner.execute_plan(&plan, &query).unwrap();
+//! assert_eq!(result.rids, vec![0, 2]); // the two z=1 rows
+//! ```
+
+#![warn(missing_docs)]
+
+mod cost;
+mod planner;
+mod query;
+
+pub use cost::{CandidateCost, Explain, Strategy};
+pub use planner::{LineagePlan, LineagePlanner, LineageResult, RewriteInfo};
+pub use query::{Direction, LineageQuery, Selection};

@@ -1,0 +1,179 @@
+//! The declarative lineage-query builder.
+//!
+//! A [`LineageQuery`] describes *what* the application wants from lineage —
+//! a direction, a selection of starting rids, an optional compose chain into
+//! further views, and an optional filter + group-by aggregation over the
+//! traced rows — without committing to *how* it is evaluated. The planner
+//! ([`crate::LineagePlanner`]) compiles the query into a
+//! [`crate::LineagePlan`] whose strategy is chosen by the cost model.
+
+use smoke_core::{AggExpr, Expr};
+use smoke_lineage::LineageIndex;
+use smoke_storage::Rid;
+
+/// The direction of a lineage trace (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Output rids → base rids (`Lb`).
+    Backward,
+    /// Base rids → output rids (`Lf`).
+    Forward,
+    /// Backward to the shared base relation, then forward through one or more
+    /// chained indexes into other views (the linked-brushing interaction of
+    /// Figure 1). The chain is supplied with [`LineageQuery::then_through`].
+    MultiView,
+}
+
+/// How the starting rids of a trace are selected.
+#[derive(Debug, Clone)]
+pub enum Selection {
+    /// Every position of the traced relation.
+    All,
+    /// An explicit rid set.
+    Rids(Vec<Rid>),
+    /// The rids whose rows satisfy a predicate (evaluated over the output
+    /// relation for backward/multi-view queries, over the base relation for
+    /// forward queries).
+    Predicate(Expr),
+}
+
+/// The lineage-consuming part of a query: an optional residual filter and an
+/// optional group-by aggregation evaluated over the traced rows.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Consume {
+    pub(crate) filter: Option<Expr>,
+    pub(crate) keys: Vec<String>,
+    pub(crate) aggs: Vec<AggExpr>,
+}
+
+impl Consume {
+    pub(crate) fn aggregates(&self) -> bool {
+        !self.keys.is_empty() || !self.aggs.is_empty()
+    }
+}
+
+/// A declarative lineage(-consuming) query.
+///
+/// ```
+/// use smoke_core::AggExpr;
+/// use smoke_planner::LineageQuery;
+///
+/// // "Backward lineage of output rid 3, grouped by month with a count."
+/// let q = LineageQuery::backward()
+///     .rids([3])
+///     .aggregate(&["month"], vec![AggExpr::count("cnt")]);
+/// assert_eq!(q.direction(), smoke_planner::Direction::Backward);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineageQuery<'a> {
+    pub(crate) direction: Direction,
+    pub(crate) selection: Selection,
+    /// Indexes to keep tracing through after the primary trace (multi-view).
+    pub(crate) chain: Vec<&'a LineageIndex>,
+    pub(crate) consume: Consume,
+}
+
+impl<'a> LineageQuery<'a> {
+    fn new(direction: Direction) -> Self {
+        LineageQuery {
+            direction,
+            selection: Selection::All,
+            chain: Vec::new(),
+            consume: Consume::default(),
+        }
+    }
+
+    /// A backward lineage query (output → base).
+    pub fn backward() -> Self {
+        LineageQuery::new(Direction::Backward)
+    }
+
+    /// A forward lineage query (base → output).
+    pub fn forward() -> Self {
+        LineageQuery::new(Direction::Forward)
+    }
+
+    /// A multi-view query: backward to the base relation, then forward through
+    /// the indexes added with [`LineageQuery::then_through`].
+    pub fn multi_view() -> Self {
+        LineageQuery::new(Direction::MultiView)
+    }
+
+    /// Starts the trace from an explicit rid set.
+    pub fn rids(mut self, rids: impl IntoIterator<Item = Rid>) -> Self {
+        self.selection = Selection::Rids(rids.into_iter().collect());
+        self
+    }
+
+    /// Starts the trace from the rows matching `predicate`.
+    pub fn matching(mut self, predicate: Expr) -> Self {
+        self.selection = Selection::Predicate(predicate);
+        self
+    }
+
+    /// Appends an index to the compose chain: after the primary trace, the
+    /// result rids are traced through `index` (left to right).
+    pub fn then_through(mut self, index: &'a LineageIndex) -> Self {
+        self.chain.push(index);
+        self
+    }
+
+    /// Restricts the traced rows to those satisfying `predicate` (evaluated
+    /// over the relation the traced rids refer to).
+    pub fn filter(mut self, predicate: Expr) -> Self {
+        self.consume.filter = Some(predicate);
+        self
+    }
+
+    /// Aggregates the traced rows: `SELECT keys, aggs FROM traced GROUP BY
+    /// keys`.
+    pub fn aggregate(mut self, keys: &[&str], aggs: Vec<AggExpr>) -> Self {
+        self.consume.keys = keys.iter().map(|k| k.to_string()).collect();
+        self.consume.aggs = aggs;
+        self
+    }
+
+    /// The query's direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The query's starting selection.
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+
+    /// Whether the query aggregates or filters the traced rows.
+    pub fn consumes(&self) -> bool {
+        self.consume.filter.is_some() || self.consume.aggregates()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_clauses() {
+        let idx = LineageIndex::Identity(4);
+        let q = LineageQuery::multi_view()
+            .rids([1, 2])
+            .then_through(&idx)
+            .filter(Expr::col("v").gt(Expr::lit(1.0)));
+        assert_eq!(q.direction(), Direction::MultiView);
+        assert_eq!(q.chain.len(), 1);
+        assert!(q.consumes());
+        match q.selection() {
+            Selection::Rids(r) => assert_eq!(r, &[1, 2]),
+            other => panic!("unexpected selection {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_selection_is_all_and_non_consuming() {
+        let q = LineageQuery::forward();
+        assert!(matches!(q.selection(), Selection::All));
+        assert!(!q.consumes());
+        assert!(!q.consume.aggregates());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based equivalence between the planner's strategies: on random
+//! group-by/select queries, `LazyRewrite` and `EagerTrace` backward lineage
+//! must agree rid-for-rid, and a lineage-consuming aggregate evaluated both
+//! ways must produce the same relation.
+
+use proptest::prelude::*;
+use smoke_core::{AggExpr, CaptureMode, Executor, Expr, PlanBuilder};
+use smoke_planner::{LineagePlanner, LineageQuery, RewriteInfo, Strategy};
+use smoke_storage::{DataType, Database, Relation, Rid, Value};
+
+/// Builds `t(z, v)` from generated `(z, v)` pairs (`v` stored as a float).
+fn table_from(rows: &[(i64, i64)]) -> Relation {
+    let mut b = Relation::builder("t")
+        .column("z", DataType::Int)
+        .column("v", DataType::Float);
+    for &(z, v) in rows {
+        b = b.row(vec![Value::Int(z), Value::Float(v as f64)]);
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lazy_and_eager_backward_lineage_agree_rid_for_rid(
+        rows in prop::collection::vec((0i64..6, 0i64..100), 1..60),
+        cut in 1i64..110,
+        picks in prop::collection::vec(0u32..8, 0..8),
+    ) {
+        let table = table_from(&rows);
+        let mut db = Database::new();
+        db.register(table.clone()).unwrap();
+
+        // Base query: SELECT z, COUNT(*), SUM(v) FROM t WHERE v < cut GROUP BY z.
+        let plan = PlanBuilder::scan("t")
+            .select(Expr::col("v").lt(Expr::lit(cut as f64)))
+            .group_by(&["z"], vec![AggExpr::count("cnt"), AggExpr::sum("v", "total")])
+            .build();
+        let out = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+        let rewrite = RewriteInfo::from_plan(&plan).unwrap();
+        let planner = LineagePlanner::from_query_output(&out, &table, "t").rewrite(rewrite);
+
+        let rids: Vec<Rid> = picks;
+        let q = LineageQuery::backward().rids(rids.clone());
+        let eager = planner.execute_with(Strategy::EagerTrace, &q).unwrap();
+        let lazy = planner.execute_with(Strategy::LazyRewrite, &q).unwrap();
+        prop_assert_eq!(&eager.rids, &lazy.rids, "backward lineage must agree rid-for-rid");
+
+        // Lineage-consuming aggregate: re-group the traced rows by z.
+        let qa = LineageQuery::backward().rids(rids).aggregate(
+            &["z"],
+            vec![AggExpr::count("cnt"), AggExpr::sum("v", "total")],
+        );
+        let eager_rows = planner
+            .execute_with(Strategy::EagerTrace, &qa)
+            .unwrap()
+            .rows
+            .unwrap();
+        let lazy_rows = planner
+            .execute_with(Strategy::LazyRewrite, &qa)
+            .unwrap()
+            .rows
+            .unwrap();
+        prop_assert_eq!(normalized(&eager_rows), normalized(&lazy_rows));
+    }
+
+    #[test]
+    fn lazy_and_eager_agree_with_residual_filters(
+        rows in prop::collection::vec((0i64..4, 0i64..50), 1..40),
+        filter_cut in 1i64..60,
+        pick in 0u32..4,
+    ) {
+        let table = table_from(&rows);
+        let mut db = Database::new();
+        db.register(table.clone()).unwrap();
+        let plan = PlanBuilder::scan("t")
+            .group_by(&["z"], vec![AggExpr::count("cnt")])
+            .build();
+        let out = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+        let planner = LineagePlanner::from_query_output(&out, &table, "t")
+            .rewrite(RewriteInfo::from_plan(&plan).unwrap());
+
+        // Filter-only consumption: the traced rid set restricted by v > cut.
+        let q = LineageQuery::backward()
+            .rids([pick])
+            .filter(Expr::col("v").gt(Expr::lit(filter_cut as f64)));
+        let eager = planner.execute_with(Strategy::EagerTrace, &q).unwrap();
+        let lazy = planner.execute_with(Strategy::LazyRewrite, &q).unwrap();
+        prop_assert_eq!(&eager.rids, &lazy.rids);
+        for &rid in &eager.rids {
+            let v = table.value(rid as usize, 1);
+            prop_assert!(matches!(v, Value::Float(f) if f > filter_cut as f64));
+        }
+    }
+
+    #[test]
+    fn batch_tracing_matches_single_set_traces(
+        rows in prop::collection::vec((0i64..8, 0i64..100), 1..80),
+        sets in prop::collection::vec(prop::collection::vec(0u32..10, 0..5), 0..12),
+    ) {
+        let table = table_from(&rows);
+        let mut db = Database::new();
+        db.register(table.clone()).unwrap();
+        let plan = PlanBuilder::scan("t")
+            .group_by(&["z"], vec![AggExpr::count("cnt")])
+            .build();
+        let out = Executor::new(CaptureMode::Inject).execute(&plan, &db).unwrap();
+        let planner = LineagePlanner::from_query_output(&out, &table, "t");
+
+        let q = LineageQuery::backward();
+        let batched = planner.execute_batch(&q, &sets).unwrap();
+        prop_assert_eq!(batched.len(), sets.len());
+        for (set, batch_result) in sets.iter().zip(&batched) {
+            let single = planner
+                .execute(&LineageQuery::backward().rids(set.clone()))
+                .unwrap();
+            prop_assert_eq!(&single.rids, batch_result);
+        }
+    }
+}
+
+fn normalized(rel: &Relation) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = (0..rel.len())
+        .map(|r| {
+            rel.row_values(r)
+                .iter()
+                .map(|v| v.group_key())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    rows.sort();
+    rows
+}

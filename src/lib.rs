@@ -13,6 +13,9 @@
 //!   ([`smoke_lineage`]);
 //! * [`core`] — the lineage-instrumented query engine, baselines, and
 //!   workload-aware optimizations ([`smoke_core`]);
+//! * [`planner`] — the cost-based lineage-consumption query planner that
+//!   unifies eager, lazy, pruned, and cube strategies behind the declarative
+//!   `LineageQuery` API ([`smoke_planner`]);
 //! * [`datagen`] — synthetic workload generators ([`smoke_datagen`]);
 //! * [`apps`] — crossfilter and data-profiling applications built on lineage
 //!   ([`smoke_apps`]).
@@ -49,6 +52,7 @@ pub use smoke_apps as apps;
 pub use smoke_core as core;
 pub use smoke_datagen as datagen;
 pub use smoke_lineage as lineage;
+pub use smoke_planner as planner;
 pub use smoke_storage as storage;
 
 /// Commonly-used types, re-exported for convenience.
@@ -58,5 +62,8 @@ pub mod prelude {
         QueryOutput,
     };
     pub use smoke_lineage::{LineageIndex, QueryLineage, Rid, RidArray, RidIndex};
+    pub use smoke_planner::{
+        Explain, LineagePlan, LineagePlanner, LineageQuery, LineageResult, RewriteInfo, Strategy,
+    };
     pub use smoke_storage::{Column, DataType, Database, Field, Relation, Schema, Value};
 }
