@@ -1,0 +1,39 @@
+//! Criterion bench: scalar interpreter vs vectorized kernel selection,
+//! lineage capture off and on.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smoke_core::ops::select::{select, SelectOptions};
+use smoke_core::Expr;
+use smoke_datagen::zipf::{zipf_table, ZipfSpec};
+
+fn bench(c: &mut Criterion) {
+    let table = zipf_table(&ZipfSpec {
+        theta: 1.0,
+        rows: 200_000,
+        groups: 100,
+        seed: 33,
+    });
+    let pred = Expr::col("v")
+        .lt(Expr::lit(30.0))
+        .or(Expr::col("v").ge(Expr::lit(90.0)));
+    let mut group = c.benchmark_group("vectorized_selection");
+    group.sample_size(10);
+    for capture in [false, true] {
+        let cap = if capture { "capture" } else { "baseline" };
+        for kernels in [false, true] {
+            let path = if kernels { "kernel" } else { "scalar" };
+            let mut opts = if capture {
+                SelectOptions::inject()
+            } else {
+                SelectOptions::baseline()
+            };
+            opts.use_kernels = kernels;
+            group.bench_with_input(BenchmarkId::new(path, cap), &table, |b, t| {
+                b.iter(|| select(t, &pred, &opts).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|csr|planner|all]
+//! experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|csr|planner|vectorized|all]
 //!             [--scale <factor>] [--runs <n>] [--json <path>]
 //! ```
 //!
@@ -12,7 +12,8 @@
 //! `--scale 10` (or more) to approach the paper's dataset sizes.
 
 use smoke_bench::{
-    apps_exp, micro, planner_exp, query_exp, render_json, render_table, tpch_exp, ExpRow, Scale,
+    apps_exp, micro, planner_exp, query_exp, render_json, render_table, tpch_exp, vectorized_exp,
+    ExpRow, Scale,
 };
 
 fn main() {
@@ -55,8 +56,23 @@ fn main() {
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = vec![
-            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "fig21", "fig22", "fig23", "csr", "planner",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig21",
+            "fig22",
+            "fig23",
+            "csr",
+            "planner",
+            "vectorized",
         ]
         .into_iter()
         .map(String::from)
@@ -82,7 +98,7 @@ fn main() {
 
 fn print_usage() {
     println!(
-        "Usage: experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|csr|planner|all]\n\
+        "Usage: experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|csr|planner|vectorized|all]\n\
          \x20                  [--scale <factor>] [--runs <n>] [--json <path>]\n\
          \n\
          Regenerates the data behind the figures of the Smoke evaluation and\n\
@@ -91,7 +107,9 @@ fn print_usage() {
          dataset sizes. `csr` compares the CSR and Vec-of-RidArrays lineage\n\
          representations; `planner` compares the cost-based planner's eager /\n\
          lazy / pruned / cube strategies on the zipfian group-by workload;\n\
-         --json additionally writes all rows to a JSON file."
+         `vectorized` compares the row-at-a-time interpreter against the\n\
+         column-kernel execution path (capture off/on); --json additionally\n\
+         writes all rows to a JSON file."
     );
 }
 
@@ -115,6 +133,7 @@ fn run_experiment(name: &str, scale: &Scale) -> Vec<ExpRow> {
         "fig21" => micro::fig21(scale),
         "csr" => micro::csr(scale),
         "planner" => planner_exp::planner(scale),
+        "vectorized" => vectorized_exp::vectorized(scale),
         "fig22" => tpch_exp::fig22(scale),
         "fig23" => tpch_exp::fig23(scale),
         other => {
@@ -142,6 +161,7 @@ fn describe(name: &str) -> &'static str {
         "fig23" => "Figure 23: selection push-down capture latency",
         "csr" => "CSR vs Vec-of-RidArrays lineage index representations",
         "planner" => "Planner: eager vs lazy vs pruned vs cube strategy latency",
+        "vectorized" => "Vectorized kernels vs scalar interpreter (capture off/on)",
         _ => "unknown experiment",
     }
 }

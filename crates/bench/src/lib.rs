@@ -17,6 +17,7 @@ pub mod micro;
 pub mod planner_exp;
 pub mod query_exp;
 pub mod tpch_exp;
+pub mod vectorized_exp;
 
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,189 @@
+//! Scalar-interpreter vs vectorized-kernel execution comparison.
+//!
+//! The `vectorized` experiment measures the selection operator on the
+//! 1M-row zipfian microbenchmark table in four configurations — scalar vs
+//! kernel execution, lineage capture off vs on — across three predicate
+//! shapes (simple comparison, compound boolean tree, `IN` list), plus the
+//! lazy-rewrite scan (an OR'd key-equality chain) both ways. It is the
+//! honesty check behind every other BENCH number: capture overhead is now
+//! measured against a batch-at-a-time base query, not an artificially slow
+//! row-at-a-time interpreter.
+
+use smoke_core::ops::select::{select, SelectOptions};
+use smoke_core::{Expr, KernelPlan};
+use smoke_datagen::zipf::{zipf_table, ZipfSpec};
+use smoke_storage::Value;
+
+use crate::{ms, time_avg, ExpRow, Scale};
+
+/// Number of OR'd key-equality terms in the lazy-rewrite scan shape.
+const REWRITE_TERMS: i64 = 16;
+
+/// The `vectorized` experiment: scalar vs kernel latency and speedup rows,
+/// with capture off and on.
+pub fn vectorized(scale: &Scale) -> Vec<ExpRow> {
+    let n = scale.size(1_000_000, 10_000);
+    let table = zipf_table(&ZipfSpec {
+        theta: 1.0,
+        rows: n,
+        groups: 100,
+        seed: 33,
+    });
+    let config = format!("n={n},g=100");
+    let mut rows = Vec::new();
+
+    let shapes: Vec<(&str, Expr)> = vec![
+        ("cmp", Expr::col("v").lt(Expr::lit(50.0))),
+        (
+            "boolean_tree",
+            Expr::col("v")
+                .lt(Expr::lit(30.0))
+                .or(Expr::col("v").ge(Expr::lit(90.0)))
+                .and(Expr::col("z").le(Expr::lit(20))),
+        ),
+        (
+            "in_list",
+            Expr::col("z").in_list((1..=8).map(Value::Int).collect()),
+        ),
+    ];
+
+    for (shape, pred) in &shapes {
+        assert!(
+            KernelPlan::compile(pred, &table).is_some(),
+            "benchmark predicate must exercise the kernel path"
+        );
+        for capture in [false, true] {
+            let cap = if capture { "capture" } else { "baseline" };
+            let mk = |kernels: bool| {
+                let mut opts = if capture {
+                    SelectOptions::inject()
+                } else {
+                    SelectOptions::baseline()
+                };
+                opts.use_kernels = kernels;
+                opts
+            };
+            let scalar_opts = mk(false);
+            let kernel_opts = mk(true);
+            let scalar = time_avg(scale.runs, scale.warmup, || {
+                select(&table, pred, &scalar_opts).unwrap()
+            });
+            let kernel = time_avg(scale.runs, scale.warmup, || {
+                select(&table, pred, &kernel_opts).unwrap()
+            });
+            let cfg = format!("{config},pred={shape},{cap}");
+            rows.push(ExpRow::new(
+                "vectorized",
+                &cfg,
+                "scalar",
+                "select_ms",
+                ms(scalar),
+            ));
+            rows.push(ExpRow::new(
+                "vectorized",
+                &cfg,
+                "kernel",
+                "select_ms",
+                ms(kernel),
+            ));
+            rows.push(ExpRow::new(
+                "vectorized",
+                &cfg,
+                "kernel",
+                "speedup_x",
+                scalar.as_secs_f64() / kernel.as_secs_f64().max(f64::EPSILON),
+            ));
+        }
+    }
+
+    // Lazy-rewrite scan shape: an OR chain of key equalities, the predicate
+    // the planner's LazyRewrite strategy issues. Kernel path via
+    // `predicate_rids`, scalar path via the bound interpreter.
+    let mut rewrite: Option<Expr> = None;
+    for g in 1..=REWRITE_TERMS {
+        let term = Expr::col("z").eq(Expr::lit(g));
+        rewrite = Some(match rewrite {
+            Some(p) => p.or(term),
+            None => term,
+        });
+    }
+    let rewrite = rewrite.expect("non-empty chain");
+    let scalar = time_avg(scale.runs, scale.warmup, || {
+        let bound = rewrite.bind(&table).unwrap();
+        let mut out = Vec::with_capacity(table.len());
+        for rid in 0..table.len() {
+            if bound.eval_bool(&table, rid).unwrap() {
+                out.push(rid as u32);
+            }
+        }
+        out
+    });
+    let kernel = time_avg(scale.runs, scale.warmup, || {
+        smoke_core::kernels::predicate_rids(&table, &rewrite).unwrap()
+    });
+    let cfg = format!("{config},pred=rewrite_{REWRITE_TERMS}term");
+    rows.push(ExpRow::new(
+        "vectorized",
+        &cfg,
+        "scalar",
+        "scan_ms",
+        ms(scalar),
+    ));
+    rows.push(ExpRow::new(
+        "vectorized",
+        &cfg,
+        "kernel",
+        "scan_ms",
+        ms(kernel),
+    ));
+    rows.push(ExpRow::new(
+        "vectorized",
+        &cfg,
+        "kernel",
+        "speedup_x",
+        scalar.as_secs_f64() / kernel.as_secs_f64().max(f64::EPSILON),
+    ));
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectorized_experiment_reports_all_configurations() {
+        let rows = vectorized(&Scale::tiny());
+        // 3 predicate shapes x {baseline, capture} x {scalar, kernel, speedup}
+        // + the rewrite-scan triple.
+        assert_eq!(rows.len(), 3 * 2 * 3 + 3);
+        assert!(rows.iter().all(|r| r.value.is_finite()));
+        for metric in ["select_ms", "scan_ms", "speedup_x"] {
+            assert!(rows.iter().any(|r| r.metric == metric), "missing {metric}");
+        }
+        // Capture-on kernel rows exist for every shape (the acceptance
+        // criterion compares them against the scalar interpreter).
+        for shape in ["cmp", "boolean_tree", "in_list"] {
+            assert!(rows
+                .iter()
+                .any(|r| r.config.contains(shape) && r.config.contains("capture")));
+        }
+    }
+
+    #[test]
+    fn scalar_and_kernel_paths_agree_on_results() {
+        let table = zipf_table(&ZipfSpec {
+            theta: 1.0,
+            rows: 2_000,
+            groups: 50,
+            seed: 9,
+        });
+        let pred = Expr::col("v")
+            .lt(Expr::lit(40.0))
+            .or(Expr::col("z").eq(Expr::lit(3)));
+        let kernel = select(&table, &pred, &SelectOptions::inject()).unwrap();
+        let scalar = select(&table, &pred, &SelectOptions::inject().scalar()).unwrap();
+        assert_eq!(kernel.output, scalar.output);
+        assert_eq!(kernel.stats.edges, scalar.stats.edges);
+    }
+}

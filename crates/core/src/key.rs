@@ -96,6 +96,12 @@ impl<'a> KeyExtractor<'a> {
         self.columns.len()
     }
 
+    /// The resolved key columns, in key order (consumed by the vectorized
+    /// typed key-extraction kernels in [`smoke_storage::kernels`]).
+    pub fn columns(&self) -> &[&'a Column] {
+        &self.columns
+    }
+
     /// Builds the key for the row at `rid`.
     #[inline]
     pub fn key(&self, rid: usize) -> HashKey {

@@ -35,15 +35,13 @@ pub fn backward_predicate(
 
 /// Evaluates a backward lineage query lazily: a full selection scan of the
 /// base relation with the rewrite predicate.
+///
+/// The scan routes through the kernel layer: rewrite predicates are OR'd
+/// key-equality chains over columns and literals, so they compile to column
+/// kernels and the scan runs batch-at-a-time (arbitrary predicates fall back
+/// to the interpreter).
 pub fn lazy_backward(relation: &Relation, predicate: &Expr) -> Result<Vec<Rid>> {
-    let bound = predicate.bind(relation)?;
-    let mut out = Vec::new();
-    for rid in 0..relation.len() {
-        if bound.eval_bool(relation, rid)? {
-            out.push(rid as Rid);
-        }
-    }
-    Ok(out)
+    crate::kernels::predicate_rids(relation, predicate)
 }
 
 /// Evaluates a lineage-consuming aggregation lazily: a full table scan with

@@ -50,6 +50,7 @@ mod error;
 pub mod exec;
 pub mod expr;
 pub mod instrument;
+pub mod kernels;
 pub mod key;
 pub mod lazy;
 pub mod ops;
@@ -65,6 +66,7 @@ pub use expr::{ArithOp, CmpOp, Expr};
 pub use instrument::{
     AggPushdown, CaptureConfig, CaptureMode, CardinalityHints, DirectionFilter, WorkloadOptions,
 };
+pub use kernels::KernelPlan;
 pub use key::{HashKey, KeyExtractor};
 pub use plan::{LogicalPlan, PlanBuilder};
 pub use workload::{LineageCube, WorkloadArtifacts};

@@ -32,7 +32,7 @@ use smoke_storage::{Column, DataType, Relation, Rid, Value};
 use crate::agg::{AggExpr, AggFunc, AggState};
 use crate::error::{EngineError, Result};
 use crate::instrument::{CaptureMode, CardinalityHints, DirectionFilter, WorkloadOptions};
-use crate::key::{HashKey, KeyExtractor};
+use crate::key::{HashKey, KeyExtractor, KeyPart};
 use crate::workload::{LineageCube, WorkloadArtifacts};
 
 /// Options controlling group-by instrumentation.
@@ -106,6 +106,130 @@ struct GroupEntry {
     lineage_count: u32,
 }
 
+/// Sentinel in the dense group-id table for "no group assigned yet".
+const NO_GROUP: u32 = u32::MAX;
+
+/// The result of probing a [`KeyMode`] for one row: either the row's group
+/// already exists, or a new group must be created for the returned key.
+enum Probe {
+    Hit(u32),
+    Miss(HashKey),
+}
+
+/// Vectorized group-key lookup, specialised by the typed shape of the key
+/// columns (paper §3.2.3's `γht`, hardware-conscious edition).
+///
+/// Single integer keys with a bounded domain use a dense gid table (one
+/// array index per row instead of a hash); wide integer domains and integer
+/// pairs hash the primitive key directly (no per-row [`HashKey`]
+/// construction, no allocation for composite keys); everything else falls
+/// back to the generic [`HashKey`] path.
+enum KeyMode<'a> {
+    DenseInt {
+        keys: &'a [i64],
+        min: i64,
+        table: Vec<u32>,
+    },
+    HashInt {
+        keys: &'a [i64],
+        ht: HashMap<i64, u32>,
+    },
+    HashPair {
+        keys: Vec<(i64, i64)>,
+        ht: HashMap<(i64, i64), u32>,
+    },
+    Generic {
+        ht: HashMap<HashKey, u32>,
+    },
+}
+
+impl<'a> KeyMode<'a> {
+    fn new(extractor: &KeyExtractor<'a>, n: usize) -> KeyMode<'a> {
+        if let Some(keys) = smoke_storage::kernels::int_keys(extractor.columns()) {
+            if let Some((min, max)) = smoke_storage::kernels::int_min_max(keys) {
+                let width = max as i128 - min as i128 + 1;
+                // The dense table pays 4 bytes per domain slot; cap it at a
+                // small multiple of the input so sparse domains hash instead.
+                if width <= 4 * n.max(256) as i128 {
+                    return KeyMode::DenseInt {
+                        keys,
+                        min,
+                        table: vec![NO_GROUP; width as usize],
+                    };
+                }
+            }
+            return KeyMode::HashInt {
+                keys,
+                ht: HashMap::new(),
+            };
+        }
+        if let Some(keys) = smoke_storage::kernels::int_key_pairs(extractor.columns()) {
+            return KeyMode::HashPair {
+                keys,
+                ht: HashMap::new(),
+            };
+        }
+        KeyMode::Generic { ht: HashMap::new() }
+    }
+
+    /// Looks up the group of `rid`, or reports the key a new group needs.
+    #[inline]
+    fn probe(&self, rid: usize, extractor: &KeyExtractor) -> Probe {
+        match self {
+            KeyMode::DenseInt { keys, min, table } => match table[(keys[rid] - min) as usize] {
+                NO_GROUP => Probe::Miss(HashKey::Int(keys[rid])),
+                gid => Probe::Hit(gid),
+            },
+            KeyMode::HashInt { keys, ht } => match ht.get(&keys[rid]) {
+                Some(&gid) => Probe::Hit(gid),
+                None => Probe::Miss(HashKey::Int(keys[rid])),
+            },
+            KeyMode::HashPair { keys, ht } => match ht.get(&keys[rid]) {
+                Some(&gid) => Probe::Hit(gid),
+                None => {
+                    let (a, b) = keys[rid];
+                    Probe::Miss(HashKey::Composite(vec![KeyPart::Int(a), KeyPart::Int(b)]))
+                }
+            },
+            KeyMode::Generic { ht } => {
+                let key = extractor.key(rid);
+                match ht.get(&key) {
+                    Some(&gid) => Probe::Hit(gid),
+                    None => Probe::Miss(key),
+                }
+            }
+        }
+    }
+
+    /// Registers a freshly created group for `rid` (the second half of a
+    /// [`Probe::Miss`]; only runs once per distinct group).
+    fn record(&mut self, rid: usize, key: HashKey, gid: u32) {
+        match self {
+            KeyMode::DenseInt { keys, min, table } => {
+                table[(keys[rid] - *min) as usize] = gid;
+            }
+            KeyMode::HashInt { keys, ht } => {
+                ht.insert(keys[rid], gid);
+            }
+            KeyMode::HashPair { keys, ht } => {
+                ht.insert(keys[rid], gid);
+            }
+            KeyMode::Generic { ht } => {
+                ht.insert(key, gid);
+            }
+        }
+    }
+
+    /// The (existing) group of `rid`, used by the Defer re-probe pass.
+    #[inline]
+    fn lookup(&self, rid: usize, extractor: &KeyExtractor) -> u32 {
+        match self.probe(rid, extractor) {
+            Probe::Hit(gid) => gid,
+            Probe::Miss(_) => unreachable!("defer pass re-probes only known keys"),
+        }
+    }
+}
+
 struct AggInputs<'a> {
     columns: Vec<Option<&'a Column>>,
 }
@@ -162,10 +286,19 @@ pub fn group_by(
     // Inject (it is join-specific).
     let inject = matches!(opts.mode, CaptureMode::Inject | CaptureMode::DeferForward);
 
-    // Workload-aware set-up.
+    // Workload-aware set-up. The push-down predicate is evaluated once for
+    // the whole input through the kernel layer (falling back to the
+    // interpreter for arbitrary shapes); the capture loop then tests a bit
+    // per row instead of re-interpreting the expression. Uninstrumented runs
+    // never read the mask, so they only bind (validating the expression)
+    // without paying for the scan.
     let wl = &opts.workload;
-    let pushdown = match &wl.selection_pushdown {
-        Some(expr) => Some(expr.bind(input)?),
+    let pushdown_mask = match &wl.selection_pushdown {
+        Some(expr) if capture => Some(crate::kernels::predicate_mask(input, expr)?),
+        Some(expr) => {
+            expr.bind(input)?;
+            None
+        }
         None => None,
     };
     let skip_extractor = if capture && !wl.skipping_partition_by.is_empty() {
@@ -182,8 +315,10 @@ pub fn group_by(
         _ => None,
     };
 
-    // γht: build phase.
-    let mut ht: HashMap<HashKey, u32> = HashMap::new();
+    // γht: build phase. The group-id lookup runs over typed key vectors
+    // extracted once (dense table / primitive-key hash for integer keys),
+    // falling back to per-row `HashKey` construction for other shapes.
+    let mut key_mode = KeyMode::new(&extractor, n);
     let mut groups: Vec<GroupEntry> = Vec::new();
     let mut forward = if capture_f && inject {
         RidArray::filled(n)
@@ -198,24 +333,23 @@ pub fn group_by(
         .map(|(pd, _, _)| LineageCube::new(0, pd.partition_by.clone(), pd.aggs.clone()));
 
     for rid in 0..n {
-        let key = extractor.key(rid);
-        let gid = match ht.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-            std::collections::hash_map::Entry::Vacant(e) => {
+        let gid = match key_mode.probe(rid, &extractor) {
+            Probe::Hit(gid) => gid,
+            Probe::Miss(key) => {
                 let gid = groups.len() as u32;
-                let hinted_cap = opts.hints.as_ref().and_then(|h| h.cardinality(e.key()));
+                let hinted_cap = opts.hints.as_ref().and_then(|h| h.cardinality(&key));
                 let i_rids = match hinted_cap {
                     Some(cap) if capture_b && inject => RidArray::with_capacity(cap),
                     _ => RidArray::new(),
                 };
                 groups.push(GroupEntry {
-                    key_values: e.key().to_values(),
+                    key_values: key.to_values(),
                     states: aggs.iter().map(AggExpr::new_state).collect(),
                     i_rids,
                     count: 0,
                     lineage_count: 0,
                 });
-                e.insert(gid);
+                key_mode.record(rid, key, gid);
                 gid
             }
         };
@@ -226,10 +360,7 @@ pub fn group_by(
         if capture {
             // Selection push-down: only rows satisfying the future consuming
             // query's predicate enter the lineage indexes.
-            let include = match &pushdown {
-                Some(p) => p.eval_bool(input, rid)?,
-                None => true,
-            };
+            let include = pushdown_mask.as_ref().is_none_or(|m| m.get(rid));
             if include {
                 entry.lineage_count += 1;
                 if capture_b && inject {
@@ -343,15 +474,11 @@ pub fn group_by(
             forward = RidArray::filled(n);
         }
         for rid in 0..n {
-            let include = match &pushdown {
-                Some(p) => p.eval_bool(input, rid)?,
-                None => true,
-            };
+            let include = pushdown_mask.as_ref().is_none_or(|m| m.get(rid));
             if !include {
                 continue;
             }
-            let key = extractor.key(rid);
-            let gid = ht[&key];
+            let gid = key_mode.lookup(rid, &extractor);
             if let Some(b) = deferred_backward.as_mut() {
                 b.append(gid as usize, rid as Rid);
             }

@@ -129,6 +129,13 @@ struct BuildEntry {
 
 /// Executes `left ⋈ right ON left_keys = right_keys` with the configured
 /// instrumentation.
+///
+/// The build and probe phases are keyed by typed key vectors when the join
+/// columns allow it — plain `i64` keys, borrowed `&str` keys (no per-probe
+/// `String` clone), or `(i64, i64)` pairs — and fall back to generic
+/// [`HashKey`](crate::key::HashKey)s otherwise. Lineage capture is emitted
+/// inside the probe loop in every variant, so Inject stays fused with the
+/// base join.
 pub fn hash_join(
     left: &Relation,
     right: &Relation,
@@ -136,10 +143,82 @@ pub fn hash_join(
     right_keys: &[String],
     opts: &JoinOptions,
 ) -> Result<JoinResult> {
+    use smoke_storage::kernels as sk;
+
     let start = Instant::now();
     let left_extract = KeyExtractor::new(left, left_keys)?;
     let right_extract = KeyExtractor::new(right, right_keys)?;
 
+    if let (Some(lk), Some(rk)) = (
+        sk::int_keys(left_extract.columns()),
+        sk::int_keys(right_extract.columns()),
+    ) {
+        return hash_join_keyed(
+            start,
+            left,
+            right,
+            |rid| lk[rid],
+            |rid| rk[rid],
+            |&k| crate::key::HashKey::Int(k),
+            opts,
+        );
+    }
+    if let (Some(lk), Some(rk)) = (
+        sk::str_keys(left_extract.columns()),
+        sk::str_keys(right_extract.columns()),
+    ) {
+        return hash_join_keyed(
+            start,
+            left,
+            right,
+            |rid| lk[rid].as_str(),
+            |rid| rk[rid].as_str(),
+            |k: &&str| crate::key::HashKey::Str((*k).to_string()),
+            opts,
+        );
+    }
+    if let (Some(lk), Some(rk)) = (
+        sk::int_key_pairs(left_extract.columns()),
+        sk::int_key_pairs(right_extract.columns()),
+    ) {
+        return hash_join_keyed(
+            start,
+            left,
+            right,
+            |rid| lk[rid],
+            |rid| rk[rid],
+            |&(a, b)| {
+                crate::key::HashKey::Composite(vec![
+                    crate::key::KeyPart::Int(a),
+                    crate::key::KeyPart::Int(b),
+                ])
+            },
+            opts,
+        );
+    }
+    hash_join_keyed(
+        start,
+        left,
+        right,
+        |rid| left_extract.key(rid),
+        |rid| right_extract.key(rid),
+        |k: &crate::key::HashKey| k.clone(),
+        opts,
+    )
+}
+
+/// The join body, generic over the key representation. `hint_key` renders a
+/// key back as a [`HashKey`](crate::key::HashKey) for cardinality-hint
+/// lookups (called once per distinct build key, never per row).
+fn hash_join_keyed<K: Eq + std::hash::Hash>(
+    start: Instant,
+    left: &Relation,
+    right: &Relation,
+    left_key: impl Fn(usize) -> K,
+    right_key: impl Fn(usize) -> K,
+    hint_key: impl Fn(&K) -> crate::key::HashKey,
+    opts: &JoinOptions,
+) -> Result<JoinResult> {
     let capture = opts.mode.captures();
     let cap_a_b = capture && opts.left_directions.backward();
     let cap_a_f = capture && opts.left_directions.forward();
@@ -149,10 +228,10 @@ pub fn hash_join(
     let defer_forward = capture && opts.mode == CaptureMode::DeferForward;
 
     // ⋈ht: build phase over the left relation.
-    let mut ht: HashMap<crate::key::HashKey, BuildEntry> = HashMap::new();
+    let mut ht: HashMap<K, BuildEntry> = HashMap::new();
     let mut pk_fk = true;
     for rid in 0..left.len() {
-        let key = left_extract.key(rid);
+        let key = left_key(rid);
         let entry = ht.entry(key).or_insert_with(|| BuildEntry {
             rids: Vec::with_capacity(1),
             o_rids: Vec::new(),
@@ -177,7 +256,7 @@ pub fn hash_join(
         let mut arrays: Vec<RidArray> = vec![RidArray::new(); left.len()];
         if let Some(hints) = &opts.hints {
             for (key, entry) in &ht {
-                if let Some(cap) = hints.cardinality(key) {
+                if let Some(cap) = hints.cardinality(&hint_key(key)) {
                     for &l in &entry.rids {
                         arrays[l as usize] = RidArray::with_capacity(cap);
                     }
@@ -198,7 +277,7 @@ pub fn hash_join(
     // ⋈probe: probe phase over the right relation.
     let mut out_counter: usize = 0;
     for rid in 0..right.len() {
-        let key = right_extract.key(rid);
+        let key = right_key(rid);
         let Some(entry) = ht.get_mut(&key) else {
             continue;
         };

@@ -6,17 +6,54 @@
 //! record, forward lineage is 1-to-N per input record. Cross products do not
 //! capture lineage at all — both directions are pure rid arithmetic over the
 //! input cardinalities and are computed on demand.
+//!
+//! The θ-join predicate is bound **once** against the concatenated schema and
+//! evaluated over `(left, right)` row pairs through column references — no
+//! per-pair scratch relation, no per-pair rebinding. When the predicate is a
+//! single comparison between one column per side, the inner loop runs
+//! vectorized: for each left row, a column kernel compares the entire right
+//! column against the left value and the matching pairs (which are the
+//! backward lineage) are emitted from the resulting bitmap.
 
 use std::time::Instant;
 
 use smoke_lineage::{
     CaptureStats, InputLineage, LineageIndex, OperatorLineage, RidArray, RidIndex,
 };
-use smoke_storage::{Relation, Rid, Schema, Value};
+use smoke_storage::{KernelCmp, Relation, Rid, Schema};
 
 use crate::error::Result;
 use crate::expr::Expr;
 use crate::ops::OpOutput;
+
+/// Recognizes a θ-predicate of the form `column OP column` with one column
+/// per side of the join. Returns `(left column, op, right column)` normalized
+/// so a pair `(l, r)` matches iff `right.column(rcol)[r] OP left[l][lcol]`
+/// (the operand order the per-left-row kernel evaluates).
+fn column_cmp_split(
+    predicate: &Expr,
+    scratch: &Relation,
+    split: usize,
+) -> Option<(usize, KernelCmp, usize)> {
+    let Expr::Cmp { op, left, right } = predicate else {
+        return None;
+    };
+    let (Expr::Column(a), Expr::Column(b)) = (left.as_ref(), right.as_ref()) else {
+        return None;
+    };
+    let ia = scratch.column_index(a).ok()?;
+    let ib = scratch.column_index(b).ok()?;
+    let op = crate::kernels::kernel_cmp(*op);
+    if ia < split && ib >= split {
+        // left[ia] OP right[ib]  ⟺  right[ib] OP.flip() left[ia]
+        Some((ia, op.flip(), ib - split))
+    } else if ib < split && ia >= split {
+        // right[ia] OP left[ib]
+        Some((ib, op, ia - split))
+    } else {
+        None
+    }
+}
 
 /// Executes `left ⋈_θ right` with a nested loop, capturing Inject lineage when
 /// `capture` is set.
@@ -28,30 +65,32 @@ pub fn theta_join(
 ) -> Result<OpOutput> {
     let start = Instant::now();
     let joined_schema: Schema = left.schema().concat(right.schema(), right.name());
-    // Bind the predicate against the joined schema by evaluating it on a
-    // two-row scratch relation would be costly; instead evaluate on a
-    // materialized candidate row. For simplicity and correctness we build the
-    // candidate row values and a single-row relation per evaluation only when
-    // the schema demands it; the common case (predicates over one column per
-    // side) is evaluated directly below.
+    // Bind once against the joined schema (an empty scratch relation resolves
+    // the column positions); evaluation then reads cells straight from the
+    // (left, right) pair.
+    let scratch = Relation::empty("scratch", joined_schema.clone());
+    let bound = predicate.bind(&scratch)?;
+
     let mut out_left: Vec<Rid> = Vec::new();
     let mut out_right: Vec<Rid> = Vec::new();
 
-    let scratch_schema = joined_schema.clone();
-    for l in 0..left.len() {
-        let left_values = left.row_values(l);
-        for r in 0..right.len() {
-            let mut values: Vec<Value> = left_values.clone();
-            values.extend(right.row_values(r));
-            let mut b = Relation::builder("scratch");
-            for f in scratch_schema.fields() {
-                b = b.column(f.name.clone(), f.data_type);
-            }
-            let scratch = b.row(values).build()?;
-            let bound = predicate.bind(&scratch)?;
-            if bound.eval_bool(&scratch, 0)? {
+    if let Some((lcol, op, rcol)) = column_cmp_split(predicate, &scratch, left.schema().arity()) {
+        let right_col = right.column(rcol);
+        for l in 0..left.len() {
+            let lv = left.value(l, lcol);
+            let mask = smoke_storage::kernels::cmp_col_lit(right_col, op, &lv);
+            mask.for_each_one(|r| {
                 out_left.push(l as Rid);
                 out_right.push(r as Rid);
+            });
+        }
+    } else {
+        for l in 0..left.len() {
+            for r in 0..right.len() {
+                if bound.eval_bool_concat(left, l, right, r)? {
+                    out_left.push(l as Rid);
+                    out_right.push(r as Rid);
+                }
             }
         }
     }
@@ -162,7 +201,7 @@ pub fn cross_product_forward(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smoke_storage::DataType;
+    use smoke_storage::{DataType, Value};
 
     fn left() -> Relation {
         let mut b = Relation::builder("L").column("a", DataType::Int);
@@ -210,6 +249,36 @@ mod tests {
         let out = theta_join(&left(), &right(), &pred, true).unwrap();
         assert_eq!(out.output.len(), 3);
         assert_eq!(out.output.column(0).as_int(), &[5, 9, 9]);
+    }
+
+    #[test]
+    fn compound_predicate_falls_back_to_pair_evaluation() {
+        // Not a single col-col comparison, so the bound-pair path runs.
+        let pred = Expr::col("a")
+            .lt(Expr::col("b"))
+            .and(Expr::col("a").gt(Expr::lit(1)));
+        let out = theta_join(&left(), &right(), &pred, true).unwrap();
+        // Pairs with a < b and a > 1: only (5, 6).
+        assert_eq!(out.output.len(), 1);
+        assert_eq!(out.output.column(0).as_int(), &[5]);
+        assert_eq!(out.output.column(1).as_int(), &[6]);
+        assert_eq!(out.lineage.input(0).backward().lookup(0), vec![1]);
+        assert_eq!(out.lineage.input(1).backward().lookup(0), vec![1]);
+    }
+
+    #[test]
+    fn literal_comparison_order_is_respected() {
+        // Literal-on-the-left comparison goes through the fallback too and
+        // must agree with the kernelized equivalent.
+        let pred_fallback = Expr::lit(5)
+            .le(Expr::col("a"))
+            .and(Expr::lit(1).lt(Expr::col("b")));
+        let fast = Expr::col("a")
+            .ge(Expr::lit(5))
+            .and(Expr::col("b").gt(Expr::lit(1)));
+        let a = theta_join(&left(), &right(), &pred_fallback, true).unwrap();
+        let b = theta_join(&left(), &right(), &fast, true).unwrap();
+        assert_eq!(a.output, b.output);
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! lineage: no index needs to be materialized and the lineage is represented
 //! by [`LineageIndex::Identity`]. Projection with set semantics (DISTINCT) is
 //! implemented via grouping and therefore uses the group-by operator's
-//! instrumentation.
+//! instrumentation (including its vectorized key extraction).
+//!
+//! Bag projection is already batch-at-a-time: it moves whole column vectors,
+//! never touching individual rows, so it needs no kernel pipeline of its own.
 
 use std::time::Instant;
 

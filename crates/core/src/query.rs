@@ -6,6 +6,7 @@
 //! rid set; the helpers here evaluate such queries directly over rid subsets
 //! without materializing intermediate relations.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use smoke_lineage::PartitionedRidIndex;
@@ -46,9 +47,12 @@ pub fn consume_filter_aggregate(
     aggs: &[AggExpr],
 ) -> Result<Relation> {
     let extractor = KeyExtractor::new(relation, keys)?;
-    let bound = match predicate {
-        Some(p) => Some(p.bind(relation)?),
-        None => None,
+    // The filter runs through the kernel layer up front (vectorized for
+    // comparison/boolean shapes, interpreter otherwise), so the aggregation
+    // loop below touches only surviving rids.
+    let filtered: Cow<'_, [Rid]> = match predicate {
+        Some(p) => Cow::Owned(crate::kernels::filter_rids(relation, p, rids)?),
+        None => Cow::Borrowed(rids),
     };
     let agg_cols: Vec<Option<usize>> = aggs
         .iter()
@@ -60,13 +64,8 @@ pub fn consume_filter_aggregate(
 
     let mut ht: HashMap<HashKey, u32> = HashMap::new();
     let mut groups: Vec<(Vec<smoke_storage::Value>, Vec<AggState>)> = Vec::new();
-    for &rid in rids {
+    for &rid in filtered.iter() {
         let rid = rid as usize;
-        if let Some(p) = &bound {
-            if !p.eval_bool(relation, rid)? {
-                continue;
-            }
-        }
         let key = extractor.key(rid);
         let gid = match ht.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => *e.get(),

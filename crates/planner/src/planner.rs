@@ -9,7 +9,7 @@ use smoke_storage::{DataType, Relation, Rid, Value};
 
 use crate::cost::{
     CandidateCost, Explain, Strategy, COST_CUBE_CELL, COST_EDGE, COST_KEY_TERM, COST_ROW_CONSUME,
-    COST_ROW_PREDICATE, QUERY_OVERHEAD,
+    COST_ROW_PREDICATE_SCALAR, COST_ROW_PREDICATE_VECTOR, QUERY_OVERHEAD,
 };
 use crate::query::{Direction, LineageQuery, Selection};
 
@@ -196,6 +196,41 @@ impl<'a> LineagePlanner<'a> {
         let traced_est = width as f64 * est_fanout;
         let aggregates = query.consume.aggregates();
         let filtered = query.consume.filter.is_some();
+        // Per-row predicate costs depend on whether the expressions compile
+        // to the vectorized kernel pipeline (see `smoke_core::kernels`).
+        let trace_target = match query.direction {
+            Direction::Forward => self.output,
+            _ => self.base,
+        };
+        // `filter_rids` only takes the kernel path when the traced set covers
+        // a reasonable fraction of the relation (narrow sets filter
+        // row-at-a-time); the cost must mirror that dispatch, not just
+        // compilability.
+        let wide_trace = traced_est * 8.0 >= trace_target.len() as f64;
+        let filter_row_cost = match &query.consume.filter {
+            Some(f) if wide_trace && smoke_core::KernelPlan::compile(f, trace_target).is_some() => {
+                COST_ROW_PREDICATE_VECTOR
+            }
+            Some(_) => COST_ROW_PREDICATE_SCALAR,
+            None => COST_ROW_PREDICATE_VECTOR,
+        };
+        let lazy_row_cost = {
+            let base_sel_vector = self
+                .rewrite
+                .as_ref()
+                .and_then(|r| r.base_selection.as_ref())
+                .is_none_or(|sel| smoke_core::KernelPlan::compile(sel, self.base).is_some());
+            let filter_vector = query
+                .consume
+                .filter
+                .as_ref()
+                .is_none_or(|f| smoke_core::KernelPlan::compile(f, self.base).is_some());
+            if base_sel_vector && filter_vector {
+                COST_ROW_PREDICATE_VECTOR
+            } else {
+                COST_ROW_PREDICATE_SCALAR
+            }
+        };
 
         // Partition-pruning applies when the residual filter is exactly an
         // equality on the partitioned index's attribute.
@@ -261,11 +296,8 @@ impl<'a> LineagePlanner<'a> {
                     cost += reach * COST_EDGE;
                     reach *= f;
                 }
-                if filtered && partition_key.is_none() {
-                    cost += traced_est * COST_ROW_PREDICATE;
-                } else if filtered {
-                    // Equality filters are cheap single-column probes.
-                    cost += traced_est * COST_ROW_PREDICATE / 2.0;
+                if filtered {
+                    cost += traced_est * filter_row_cost;
                 }
                 if aggregates {
                     cost += traced_est * COST_ROW_CONSUME;
@@ -287,8 +319,7 @@ impl<'a> LineagePlanner<'a> {
         // predicate (one OR term per selected output group).
         candidates.push(match (&self.rewrite, query.direction) {
             (Some(_), Direction::Backward) => {
-                let scan =
-                    self.base.len() as f64 * (COST_ROW_PREDICATE + width as f64 * COST_KEY_TERM);
+                let scan = self.base.len() as f64 * (lazy_row_cost + width as f64 * COST_KEY_TERM);
                 let consume = if aggregates {
                     traced_est * COST_ROW_CONSUME
                 } else {
@@ -543,16 +574,10 @@ impl<'a> LineagePlanner<'a> {
                 .copied()
                 .filter(|&r| (r as usize) < domain.len())
                 .collect()),
-            Selection::Predicate(pred) => {
-                let bound = pred.bind(domain)?;
-                let mut out = Vec::new();
-                for rid in 0..domain.len() {
-                    if bound.eval_bool(domain, rid)? {
-                        out.push(rid as Rid);
-                    }
-                }
-                Ok(out)
-            }
+            // The scan routes through the kernel layer: comparison/boolean
+            // predicates over columns and literals run vectorized, anything
+            // else falls back to the row-at-a-time interpreter.
+            Selection::Predicate(pred) => smoke_core::kernels::predicate_rids(domain, pred),
         }
     }
 
@@ -575,16 +600,10 @@ impl<'a> LineagePlanner<'a> {
         let consume = &query.consume;
         // The residual filter restricts the traced rid set itself (so `rids`
         // means the same thing under every strategy); the aggregate then runs
-        // over the restricted set.
+        // over the restricted set. Wide traces evaluate the filter through
+        // the column kernels, narrow ones row-at-a-time.
         if let Some(filter) = &consume.filter {
-            let bound = filter.bind(target)?;
-            let mut kept = Vec::with_capacity(traced.len());
-            for rid in traced {
-                if bound.eval_bool(target, rid as usize)? {
-                    kept.push(rid);
-                }
-            }
-            traced = kept;
+            traced = smoke_core::kernels::filter_rids(target, filter, &traced)?;
         }
         let rows = if consume.aggregates() {
             Some(consume_aggregate(

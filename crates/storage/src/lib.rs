@@ -33,6 +33,7 @@ mod column;
 pub mod csv;
 mod database;
 mod error;
+pub mod kernels;
 mod relation;
 mod rid;
 mod schema;
@@ -41,6 +42,7 @@ mod value;
 pub use column::Column;
 pub use database::Database;
 pub use error::StorageError;
+pub use kernels::{KernelCmp, SelectionMask};
 pub use relation::{Relation, RelationBuilder, RowRef};
 pub use rid::{Rid, RidVec};
 pub use schema::{Field, Schema};
