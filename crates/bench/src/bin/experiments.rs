@@ -4,17 +4,148 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|csr|planner|vectorized|all]
-//!             [--scale <factor>] [--runs <n>] [--json <path>]
+//! experiments [<experiment>...|all] [--scale <factor>] [--runs <n>] [--json <path>]
 //! ```
 //!
-//! The default scale keeps the full suite at laptop/CI runtimes; pass
-//! `--scale 10` (or more) to approach the paper's dataset sizes.
+//! Run `experiments --help` for the experiment list (it is generated from
+//! the same registry that dispatches them, so it cannot drift). The default
+//! scale keeps the full suite at laptop/CI runtimes; pass `--scale 10` (or
+//! more) to approach the paper's dataset sizes.
 
 use smoke_bench::{
-    apps_exp, micro, planner_exp, query_exp, render_json, render_table, tpch_exp, vectorized_exp,
-    ExpRow, Scale,
+    apps_exp, micro, parallel_exp, planner_exp, query_exp, render_json, render_table, tpch_exp,
+    vectorized_exp, ExpRow, Scale,
 };
+
+/// One runnable experiment: its CLI name, the one-line description shown by
+/// `--help` and above its output table, and the function that produces its
+/// rows. This table is the single source of truth for the subcommand list —
+/// the `all` expansion, usage text, and dispatch all derive from it.
+struct Experiment {
+    name: &'static str,
+    describe: &'static str,
+    run: fn(&Scale) -> Vec<ExpRow>,
+}
+
+fn fig11(scale: &Scale) -> Vec<ExpRow> {
+    only(tpch_exp::fig11_12(scale), "fig11")
+}
+
+fn fig12(scale: &Scale) -> Vec<ExpRow> {
+    only(tpch_exp::fig11_12(scale), "fig12")
+}
+
+fn fig13(scale: &Scale) -> Vec<ExpRow> {
+    only(apps_exp::fig13_14(scale), "fig13")
+}
+
+fn fig14(scale: &Scale) -> Vec<ExpRow> {
+    only(apps_exp::fig13_14(scale), "fig14")
+}
+
+/// Restricts a shared experiment's rows to one figure.
+fn only(rows: Vec<ExpRow>, experiment: &str) -> Vec<ExpRow> {
+    rows.into_iter()
+        .filter(|r| r.experiment == experiment)
+        .collect()
+}
+
+const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        name: "fig5",
+        describe: "Figure 5: group-by aggregation lineage capture",
+        run: micro::fig5,
+    },
+    Experiment {
+        name: "fig6",
+        describe: "Figure 6: pk-fk join lineage capture",
+        run: micro::fig6,
+    },
+    Experiment {
+        name: "fig7",
+        describe: "Figure 7: m:n join lineage capture",
+        run: micro::fig7,
+    },
+    Experiment {
+        name: "fig8",
+        describe: "Figure 8: TPC-H capture overhead (Smoke-I vs Logic-Idx)",
+        run: tpch_exp::fig8,
+    },
+    Experiment {
+        name: "fig9",
+        describe: "Figure 9: backward lineage query latency vs skew",
+        run: query_exp::fig9,
+    },
+    Experiment {
+        name: "fig10",
+        describe: "Figure 10: data skipping for lineage-consuming queries",
+        run: tpch_exp::fig10,
+    },
+    Experiment {
+        name: "fig11",
+        describe: "Figure 11: aggregation push-down query latency",
+        run: fig11,
+    },
+    Experiment {
+        name: "fig12",
+        describe: "Figure 12: aggregation push-down capture overhead",
+        run: fig12,
+    },
+    Experiment {
+        name: "fig13",
+        describe: "Figure 13: crossfilter cumulative latency",
+        run: fig13,
+    },
+    Experiment {
+        name: "fig14",
+        describe: "Figure 14: crossfilter per-interaction latency",
+        run: fig14,
+    },
+    Experiment {
+        name: "fig15",
+        describe: "Figure 15: FD-violation profiling latency",
+        run: apps_exp::fig15,
+    },
+    Experiment {
+        name: "fig21",
+        describe: "Figure 21: selection capture with selectivity estimates",
+        run: micro::fig21,
+    },
+    Experiment {
+        name: "fig22",
+        describe: "Figure 22: instrumentation pruning per input relation",
+        run: tpch_exp::fig22,
+    },
+    Experiment {
+        name: "fig23",
+        describe: "Figure 23: selection push-down capture latency",
+        run: tpch_exp::fig23,
+    },
+    Experiment {
+        name: "csr",
+        describe: "CSR vs Vec-of-RidArrays lineage index representations",
+        run: micro::csr,
+    },
+    Experiment {
+        name: "planner",
+        describe: "Planner: eager vs lazy vs pruned vs cube strategy latency",
+        run: planner_exp::planner,
+    },
+    Experiment {
+        name: "vectorized",
+        describe: "Vectorized kernels vs scalar interpreter (capture off/on)",
+        run: vectorized_exp::vectorized,
+    },
+    Experiment {
+        name: "parallel",
+        describe: "Morsel-parallel select/group-by vs sequential (DOP 1/2/4/8)",
+        run: parallel_exp::parallel,
+    },
+];
+
+fn find(name: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.name == name)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,37 +186,20 @@ fn main() {
         i += 1;
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
-        which = vec![
-            "fig5",
-            "fig6",
-            "fig7",
-            "fig8",
-            "fig9",
-            "fig10",
-            "fig11",
-            "fig12",
-            "fig13",
-            "fig14",
-            "fig15",
-            "fig21",
-            "fig22",
-            "fig23",
-            "csr",
-            "planner",
-            "vectorized",
-        ]
-        .into_iter()
-        .map(String::from)
-        .collect();
+        which = EXPERIMENTS.iter().map(|e| e.name.to_string()).collect();
     }
 
     let mut all_rows: Vec<ExpRow> = Vec::new();
     for name in &which {
-        let rows = run_experiment(name, &scale);
+        let Some(exp) = find(name) else {
+            eprintln!("unknown experiment `{name}` (run --help for the list)");
+            continue;
+        };
+        let rows = (exp.run)(&scale);
         if rows.is_empty() {
             continue;
         }
-        println!("\n== {} ==", describe(name));
+        println!("\n== {} ==", exp.describe);
         println!("{}", render_table(&rows));
         all_rows.extend(rows);
     }
@@ -98,70 +212,24 @@ fn main() {
 
 fn print_usage() {
     println!(
-        "Usage: experiments [fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig21|fig22|fig23|csr|planner|vectorized|all]\n\
-         \x20                  [--scale <factor>] [--runs <n>] [--json <path>]\n\
-         \n\
-         Regenerates the data behind the figures of the Smoke evaluation and\n\
+        "Usage: experiments [<experiment>...|all] [--scale <factor>] [--runs <n>] [--json <path>]"
+    );
+    println!();
+    println!("Experiments:");
+    for exp in EXPERIMENTS {
+        println!("  {:<12} {}", exp.name, exp.describe);
+    }
+    println!(
+        "\nRegenerates the data behind the figures of the Smoke evaluation and\n\
          prints it as aligned tables. The default scale keeps the full suite at\n\
          laptop/CI runtimes; pass --scale 10 (or more) to approach the paper's\n\
-         dataset sizes. `csr` compares the CSR and Vec-of-RidArrays lineage\n\
-         representations; `planner` compares the cost-based planner's eager /\n\
-         lazy / pruned / cube strategies on the zipfian group-by workload;\n\
-         `vectorized` compares the row-at-a-time interpreter against the\n\
-         column-kernel execution path (capture off/on); --json additionally\n\
-         writes all rows to a JSON file."
+         dataset sizes.\n\
+         \n\
+         Options:\n\
+         \x20 --scale <factor>  multiply every default dataset size\n\
+         \x20 --runs <n>        timed runs per measurement\n\
+         \x20 --json <path>     additionally write all rows to a JSON file\n\
+         \x20                   (the CI BENCH_*.json artifacts are produced this way,\n\
+         \x20                   e.g. `experiments parallel --json BENCH_parallel.json`)"
     );
-}
-
-fn run_experiment(name: &str, scale: &Scale) -> Vec<ExpRow> {
-    match name {
-        "fig5" => micro::fig5(scale),
-        "fig6" => micro::fig6(scale),
-        "fig7" => micro::fig7(scale),
-        "fig8" => tpch_exp::fig8(scale),
-        "fig9" => query_exp::fig9(scale),
-        "fig10" => tpch_exp::fig10(scale),
-        "fig11" | "fig12" => {
-            let rows = tpch_exp::fig11_12(scale);
-            rows.into_iter().filter(|r| r.experiment == *name).collect()
-        }
-        "fig13" | "fig14" => {
-            let rows = apps_exp::fig13_14(scale);
-            rows.into_iter().filter(|r| r.experiment == *name).collect()
-        }
-        "fig15" => apps_exp::fig15(scale),
-        "fig21" => micro::fig21(scale),
-        "csr" => micro::csr(scale),
-        "planner" => planner_exp::planner(scale),
-        "vectorized" => vectorized_exp::vectorized(scale),
-        "fig22" => tpch_exp::fig22(scale),
-        "fig23" => tpch_exp::fig23(scale),
-        other => {
-            eprintln!("unknown experiment `{other}`");
-            Vec::new()
-        }
-    }
-}
-
-fn describe(name: &str) -> &'static str {
-    match name {
-        "fig5" => "Figure 5: group-by aggregation lineage capture",
-        "fig6" => "Figure 6: pk-fk join lineage capture",
-        "fig7" => "Figure 7: m:n join lineage capture",
-        "fig8" => "Figure 8: TPC-H capture overhead (Smoke-I vs Logic-Idx)",
-        "fig9" => "Figure 9: backward lineage query latency vs skew",
-        "fig10" => "Figure 10: data skipping for lineage-consuming queries",
-        "fig11" => "Figure 11: aggregation push-down query latency",
-        "fig12" => "Figure 12: aggregation push-down capture overhead",
-        "fig13" => "Figure 13: crossfilter cumulative latency",
-        "fig14" => "Figure 14: crossfilter per-interaction latency",
-        "fig15" => "Figure 15: FD-violation profiling latency",
-        "fig21" => "Figure 21: selection capture with selectivity estimates",
-        "fig22" => "Figure 22: instrumentation pruning per input relation",
-        "fig23" => "Figure 23: selection push-down capture latency",
-        "csr" => "CSR vs Vec-of-RidArrays lineage index representations",
-        "planner" => "Planner: eager vs lazy vs pruned vs cube strategy latency",
-        "vectorized" => "Vectorized kernels vs scalar interpreter (capture off/on)",
-        _ => "unknown experiment",
-    }
 }

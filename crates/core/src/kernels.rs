@@ -13,6 +13,11 @@
 //! The helpers [`predicate_rids`], [`predicate_mask`], and [`filter_rids`]
 //! bundle the compile-or-fallback decision so operators, the lazy rewriter,
 //! and the lineage planner all route predicate scans through one place.
+//!
+//! A compiled plan can also evaluate any sub-range of the relation
+//! ([`KernelPlan::eval_range`]); the morsel-parallel drivers in
+//! [`crate::parallel`] use this to run one plan over many morsels at once and
+//! stitch the per-morsel masks back together.
 
 use smoke_storage::kernels as sk;
 use smoke_storage::{KernelCmp, Relation, Rid, SelectionMask, Value};
@@ -84,6 +89,18 @@ impl KernelPlan {
     pub fn eval(&self, relation: &Relation) -> SelectionMask {
         debug_assert_eq!(self.len, relation.len());
         eval_node(&self.node, relation)
+    }
+
+    /// Evaluates the pipeline over rows `start..end` only (one morsel), into
+    /// a morsel-local mask: bit `i` of the result is row `start + i`. This is
+    /// the per-worker entry point of the parallel drivers; stitching the
+    /// morsel masks back together in morsel order reproduces [`eval`]'s
+    /// mask bit for bit.
+    ///
+    /// [`eval`]: KernelPlan::eval
+    pub fn eval_range(&self, relation: &Relation, start: usize, end: usize) -> SelectionMask {
+        debug_assert!(start <= end && end <= relation.len());
+        eval_node_range(&self.node, relation, start, end)
     }
 }
 
@@ -184,6 +201,38 @@ fn eval_node(node: &Node, relation: &Relation) -> SelectionMask {
         }
         Node::Not(e) => {
             let mut mask = eval_node(e, relation);
+            mask.not_assign();
+            mask
+        }
+    }
+}
+
+fn eval_node_range(node: &Node, relation: &Relation, start: usize, end: usize) -> SelectionMask {
+    match node {
+        Node::CmpLit { col, op, lit } => {
+            sk::cmp_col_lit_range(relation.column(*col), *op, lit, start, end)
+        }
+        Node::CmpCols { left, op, right } => sk::cmp_col_col_range(
+            relation.column(*left),
+            *op,
+            relation.column(*right),
+            start,
+            end,
+        ),
+        Node::InList { col, list } => sk::in_list_range(relation.column(*col), list, start, end),
+        Node::Const(b) => SelectionMask::constant(end - start, *b),
+        Node::And(l, r) => {
+            let mut mask = eval_node_range(l, relation, start, end);
+            mask.and_assign(&eval_node_range(r, relation, start, end));
+            mask
+        }
+        Node::Or(l, r) => {
+            let mut mask = eval_node_range(l, relation, start, end);
+            mask.or_assign(&eval_node_range(r, relation, start, end));
+            mask
+        }
+        Node::Not(e) => {
+            let mut mask = eval_node_range(e, relation, start, end);
             mask.not_assign();
             mask
         }
@@ -367,6 +416,30 @@ mod tests {
                 .filter(|&rid| bound.eval_bool(&r, rid as usize).unwrap())
                 .collect();
             assert_eq!(small, expect_small);
+        }
+    }
+
+    #[test]
+    fn eval_range_stitches_back_to_whole_mask() {
+        let r = rel();
+        let exprs = [
+            Expr::col("a").gt(Expr::lit(4)),
+            Expr::col("a")
+                .ge(Expr::lit(2))
+                .and(Expr::col("b").lt(Expr::lit(4.0))),
+            Expr::col("a")
+                .in_list(vec![Value::Int(1), Value::Int(7)])
+                .not(),
+            Expr::col("s").eq(Expr::lit(3)), // constant node
+        ];
+        for e in &exprs {
+            let plan = KernelPlan::compile(e, &r).unwrap();
+            let whole = plan.eval(&r);
+            for split in [0, 3, 7, r.len()] {
+                let mut stitched = plan.eval_range(&r, 0, split);
+                stitched.append(&plan.eval_range(&r, split, r.len()));
+                assert_eq!(stitched.to_rids(), whole.to_rids(), "{e:?} split {split}");
+            }
         }
     }
 

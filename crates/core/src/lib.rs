@@ -1,9 +1,11 @@
 //! # smoke-core
 //!
-//! The Smoke query engine (Psallidas & Wu, VLDB 2018): an in-memory,
-//! single-threaded, row-at-a-time relational engine whose physical operators
-//! tightly integrate fine-grained lineage capture, plus the baseline capture
-//! techniques and workload-aware optimizations the paper evaluates against.
+//! The Smoke query engine (Psallidas & Wu, VLDB 2018): an in-memory
+//! relational engine whose physical operators tightly integrate fine-grained
+//! lineage capture, plus the baseline capture techniques and workload-aware
+//! optimizations the paper evaluates against. Operators run row-at-a-time
+//! (the paper's reference form), vectorized over compiled [`kernels`], or
+//! morsel-parallel with per-thread capture ([`parallel`]).
 //!
 //! The crate is organised around the paper's structure:
 //!
@@ -54,6 +56,7 @@ pub mod kernels;
 pub mod key;
 pub mod lazy;
 pub mod ops;
+pub mod parallel;
 pub mod plan;
 pub mod query;
 pub mod refresh;
@@ -68,5 +71,6 @@ pub use instrument::{
 };
 pub use kernels::KernelPlan;
 pub use key::{HashKey, KeyExtractor};
+pub use parallel::{par_group_by, par_hash_join, par_select, ParallelOptions};
 pub use plan::{LogicalPlan, PlanBuilder};
 pub use workload::{LineageCube, WorkloadArtifacts};

@@ -230,12 +230,12 @@ impl<'a> KeyMode<'a> {
     }
 }
 
-struct AggInputs<'a> {
+pub(crate) struct AggInputs<'a> {
     columns: Vec<Option<&'a Column>>,
 }
 
 impl<'a> AggInputs<'a> {
-    fn resolve(input: &'a Relation, aggs: &[AggExpr]) -> Result<Self> {
+    pub(crate) fn resolve(input: &'a Relation, aggs: &[AggExpr]) -> Result<Self> {
         let mut columns = Vec::with_capacity(aggs.len());
         for agg in aggs {
             match &agg.column {
@@ -252,7 +252,7 @@ impl<'a> AggInputs<'a> {
     }
 
     #[inline]
-    fn update(&self, states: &mut [AggState], aggs: &[AggExpr], rid: usize) {
+    pub(crate) fn update(&self, states: &mut [AggState], aggs: &[AggExpr], rid: usize) {
         for (i, state) in states.iter_mut().enumerate() {
             match (&aggs[i].func, self.columns[i]) {
                 (AggFunc::Count, _) => state.update(0.0),

@@ -3,7 +3,7 @@
 //! Every operator comes in an uninstrumented form (Baseline) plus the Inject
 //! and — where the paper defines one — Defer instrumentation paradigms. The
 //! operators return both their output relation and the captured
-//! [`OperatorLineage`](smoke_lineage::OperatorLineage).
+//! [`OperatorLineage`].
 
 pub mod groupby;
 pub mod join;

@@ -9,7 +9,7 @@
 //! pre-allocation, Appendix G.1) is implemented.
 //!
 //! When the predicate compiles to a column-kernel pipeline
-//! ([`KernelPlan`](crate::kernels::KernelPlan)), the selection runs
+//! ([`KernelPlan`]), the selection runs
 //! batch-at-a-time: the kernels produce a selection bitmap, and one fused
 //! loop over the bitmap emits the matching rid list (which *is* the backward
 //! index, reuse principle P4) and the forward rid array together — capture

@@ -1,0 +1,283 @@
+//! Property-based equivalence between the morsel-parallel drivers and the
+//! sequential operators: on random inputs, `par_select` / `par_group_by` /
+//! `par_hash_join` at DOP > 1 must be rid-for-rid and
+//! aggregate-for-aggregate identical to the single-threaded engine —
+//! including empty relations, groups straddling morsel boundaries (forced by
+//! a tiny 64-row morsel size over larger inputs), and DOP far above the
+//! morsel count.
+//!
+//! Float columns hold dyadic rationals (multiples of 0.5) so parallel
+//! partial-sum merges are exact and aggregate equality can be asserted
+//! bit-for-bit, independent of summation order.
+
+use proptest::prelude::*;
+use smoke_core::ops::groupby::{group_by, GroupByOptions};
+use smoke_core::ops::join::{hash_join, JoinOptions};
+use smoke_core::ops::select::{select, SelectOptions};
+use smoke_core::parallel::{par_group_by, par_hash_join, par_select, ParallelOptions};
+use smoke_core::{AggExpr, Expr};
+use smoke_storage::{DataType, Relation, Rid, Value};
+
+/// Builds `t(a, b, s)`; `a` is a small-domain int so groups recur across
+/// morsel boundaries, `b` is a dyadic float, `s` a short string.
+fn table_from(rows: &[(i64, i64)]) -> Relation {
+    let mut b = Relation::builder("t")
+        .column("a", DataType::Int)
+        .column("b", DataType::Float)
+        .column("s", DataType::Str);
+    for &(x, y) in rows {
+        let s = ["red", "green", "blue", "cyan"][(y % 4).unsigned_abs() as usize];
+        b = b.row(vec![
+            Value::Int(x),
+            Value::Float(y as f64 * 0.5),
+            Value::Str(s.into()),
+        ]);
+    }
+    b.build().unwrap()
+}
+
+/// 64-row morsels: any table longer than 64 rows spans several morsels, so
+/// small proptest inputs already exercise boundary-straddling groups.
+fn par(dop: usize) -> ParallelOptions {
+    ParallelOptions::new(dop).with_morsel_rows(64)
+}
+
+/// Every aggregate whose merge is exact on dyadic-rational inputs: sums of
+/// halves, their squares, min/max folds, avg (exact sum / exact count), and
+/// set-based distinct counts. `SumSqrt` is deliberately absent — square
+/// roots are not dyadic, so its result depends on summation order and only
+/// agrees with the sequential engine up to the last ulp.
+fn exact_aggs(col: &str) -> Vec<AggExpr> {
+    vec![
+        AggExpr::count("cnt"),
+        AggExpr::sum(col, "sum_v"),
+        AggExpr::sum_sq(col, "sum_v2"),
+        AggExpr::avg(col, "avg_v"),
+        AggExpr::min(col, "min_v"),
+        AggExpr::max(col, "max_v"),
+        AggExpr::count_distinct(col, "dcnt_v"),
+    ]
+}
+
+fn assert_select_equivalent(table: &Relation, pred: &Expr, dop: usize) {
+    let seq = select(table, pred, &SelectOptions::inject()).unwrap();
+    let p = par_select(table, pred, &SelectOptions::inject(), &par(dop)).unwrap();
+    assert_eq!(seq.output, p.output, "output mismatch for {pred:?}");
+    for o in 0..seq.output.len() as Rid {
+        assert_eq!(
+            seq.lineage.input(0).backward().lookup(o),
+            p.lineage.input(0).backward().lookup(o),
+            "backward mismatch at {o} for {pred:?}"
+        );
+    }
+    for i in 0..table.len() as Rid {
+        assert_eq!(
+            seq.lineage.input(0).forward().lookup(i),
+            p.lineage.input(0).forward().lookup(i),
+            "forward mismatch at {i} for {pred:?}"
+        );
+    }
+    assert_eq!(seq.stats.edges, p.stats.edges);
+}
+
+fn assert_group_by_equivalent(table: &Relation, keys: &[String], aggs: &[AggExpr], dop: usize) {
+    let seq = group_by(table, keys, aggs, &GroupByOptions::inject()).unwrap();
+    let p = par_group_by(table, keys, aggs, &GroupByOptions::inject(), &par(dop)).unwrap();
+    assert_eq!(seq.output, p.output, "group-by output mismatch");
+    for g in 0..seq.output.len() as Rid {
+        assert_eq!(
+            seq.lineage.input(0).backward().lookup(g),
+            p.lineage.input(0).backward().lookup(g),
+            "backward mismatch at group {g}"
+        );
+    }
+    for i in 0..table.len() as Rid {
+        assert_eq!(
+            seq.lineage.input(0).forward().lookup(i),
+            p.lineage.input(0).forward().lookup(i),
+            "forward mismatch at row {i}"
+        );
+    }
+}
+
+fn assert_join_equivalent(left: &Relation, right: &Relation, keys: &[String], dop: usize) {
+    let seq = hash_join(left, right, keys, keys, &JoinOptions::inject()).unwrap();
+    let p = par_hash_join(left, right, keys, keys, &JoinOptions::inject(), &par(dop)).unwrap();
+    assert_eq!(seq.output, p.output, "join output mismatch");
+    assert_eq!(seq.output_rows, p.output_rows);
+    assert_eq!(seq.pk_fk, p.pk_fk);
+    for side in 0..2 {
+        for o in 0..seq.output_rows as Rid {
+            assert_eq!(
+                seq.lineage.input(side).backward().lookup(o),
+                p.lineage.input(side).backward().lookup(o),
+                "backward mismatch side {side} output {o}"
+            );
+        }
+    }
+    for l in 0..left.len() as Rid {
+        let mut a = seq.lineage.input(0).forward().lookup(l);
+        let mut b = p.lineage.input(0).forward().lookup(l);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "left forward mismatch at {l}");
+    }
+    for r in 0..right.len() as Rid {
+        assert_eq!(
+            seq.lineage.input(1).forward().lookup(r),
+            p.lineage.input(1).forward().lookup(r),
+            "right forward mismatch at {r}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_select_matches_sequential(
+        rows in prop::collection::vec((-2i64..8, 0i64..100), 0..300),
+        cut in -2i64..8,
+        dop in 2usize..9,
+    ) {
+        let table = table_from(&rows);
+        let pred = Expr::col("a").ge(Expr::lit(cut));
+        assert_select_equivalent(&table, &pred, dop);
+        // A compound predicate exercising And/InList nodes over ranges.
+        let pred = Expr::col("a")
+            .in_list(vec![Value::Int(cut), Value::Int(cut + 2)])
+            .or(Expr::col("b").lt(Expr::lit(10.0)));
+        assert_select_equivalent(&table, &pred, dop);
+    }
+
+    #[test]
+    fn parallel_group_by_matches_sequential(
+        rows in prop::collection::vec((-2i64..8, 0i64..100), 0..300),
+        dop in 2usize..9,
+    ) {
+        let table = table_from(&rows);
+        // Int key (dense/int fast paths) with the full microbenchmark agg
+        // set (COUNT / SUM / AVG / MIN / MAX / SUMSQ / COUNT DISTINCT).
+        assert_group_by_equivalent(&table, &["a".to_string()], &exact_aggs("b"), dop);
+        // String key exercises the generic HashKey path.
+        assert_group_by_equivalent(
+            &table,
+            &["s".to_string()],
+            &[AggExpr::count("cnt"), AggExpr::sum("b", "sum_b")],
+            dop,
+        );
+        // Composite key.
+        assert_group_by_equivalent(
+            &table,
+            &["s".to_string(), "a".to_string()],
+            &[AggExpr::count("cnt")],
+            dop,
+        );
+    }
+
+    #[test]
+    fn parallel_join_matches_sequential(
+        left_rows in prop::collection::vec((-2i64..8, 0i64..100), 0..60),
+        right_rows in prop::collection::vec((-2i64..8, 0i64..100), 0..300),
+        dop in 2usize..9,
+    ) {
+        // M:N join on the small-domain int key (and pk-fk when the generated
+        // left side happens to be unique).
+        let left = table_from(&left_rows).with_name("L");
+        let right = table_from(&right_rows).with_name("R");
+        assert_join_equivalent(&left, &right, &["a".to_string()], dop);
+        // String keys exercise the generic-key parallel probe.
+        assert_join_equivalent(&left, &right, &["s".to_string()], dop);
+    }
+}
+
+#[test]
+fn empty_relations_on_all_parallel_drivers() {
+    let empty = table_from(&[]);
+    assert_select_equivalent(&empty, &Expr::col("a").gt(Expr::lit(0)), 8);
+    assert_group_by_equivalent(&empty, &["a".to_string()], &exact_aggs("b"), 8);
+    let small = table_from(&[(1, 2), (3, 4)]);
+    assert_join_equivalent(&empty, &small, &["a".to_string()], 8);
+    assert_join_equivalent(&small, &empty, &["a".to_string()], 8);
+}
+
+#[test]
+fn groups_straddling_morsel_boundaries() {
+    // 200 rows of 3 recurring keys over 64-row morsels: every group spans
+    // all four morsels.
+    let rows: Vec<(i64, i64)> = (0..200).map(|i| (i % 3, i)).collect();
+    let table = table_from(&rows);
+    assert_group_by_equivalent(&table, &["a".to_string()], &exact_aggs("b"), 4);
+    // One group entirely inside a single morsel, one spanning all.
+    let rows: Vec<(i64, i64)> = (0..200)
+        .map(|i| (if (64..128).contains(&i) { 7 } else { 0 }, i))
+        .collect();
+    let table = table_from(&rows);
+    assert_group_by_equivalent(&table, &["a".to_string()], &exact_aggs("b"), 4);
+}
+
+#[test]
+fn dop_exceeding_morsel_count_clamps_to_available_work() {
+    // 100 rows / 64-row morsels = 2 morsels; DOP 32 must clamp, not hang or
+    // mis-merge.
+    let rows: Vec<(i64, i64)> = (0..100).map(|i| (i % 5, i)).collect();
+    let table = table_from(&rows);
+    assert_select_equivalent(&table, &Expr::col("a").le(Expr::lit(2)), 32);
+    assert_group_by_equivalent(&table, &["a".to_string()], &exact_aggs("b"), 32);
+    let left = table_from(&[(0, 0), (1, 1), (2, 2)]).with_name("L");
+    assert_join_equivalent(&left, &table, &["a".to_string()], 32);
+
+    let opts = ParallelOptions::new(32).with_morsel_rows(64);
+    assert_eq!(opts.workers(2), 2);
+    assert_eq!(opts.workers(0), 1);
+    assert_eq!(opts.dop(), 32);
+    assert_eq!(opts.morsel_rows(), 64);
+}
+
+#[test]
+fn dop_one_delegates_to_sequential_path() {
+    let rows: Vec<(i64, i64)> = (0..150).map(|i| (i % 4, i)).collect();
+    let table = table_from(&rows);
+    // DOP=1 must be bit-for-bit the sequential engine (it *is* the
+    // sequential engine: the drivers delegate).
+    let seq = select(
+        &table,
+        &Expr::col("a").eq(Expr::lit(1)),
+        &SelectOptions::inject(),
+    )
+    .unwrap();
+    let p1 = par_select(
+        &table,
+        &Expr::col("a").eq(Expr::lit(1)),
+        &SelectOptions::inject(),
+        &ParallelOptions::new(1),
+    )
+    .unwrap();
+    assert_eq!(seq.output, p1.output);
+    let seq = group_by(
+        &table,
+        &["a".to_string()],
+        &exact_aggs("b"),
+        &GroupByOptions::defer(),
+    )
+    .unwrap();
+    let p1 = par_group_by(
+        &table,
+        &["a".to_string()],
+        &exact_aggs("b"),
+        &GroupByOptions::defer(),
+        &ParallelOptions::new(1),
+    )
+    .unwrap();
+    assert_eq!(seq.output, p1.output);
+}
+
+#[test]
+fn interpreter_only_predicates_fall_back_in_parallel_driver() {
+    let rows: Vec<(i64, i64)> = (0..150).map(|i| (i % 4, i)).collect();
+    let table = table_from(&rows);
+    // Arithmetic never compiles to kernels; par_select must transparently
+    // fall back to the sequential interpreter and still be correct.
+    let pred = (Expr::col("a") + Expr::lit(1)).gt(Expr::lit(2));
+    assert_select_equivalent(&table, &pred, 8);
+}

@@ -123,6 +123,40 @@ impl CsrRidIndex {
         self.offsets.capacity() * std::mem::size_of::<u32>()
             + self.rids.capacity() * std::mem::size_of::<Rid>()
     }
+
+    /// Merges per-partition CSR indexes into one global index — the
+    /// finalize step of parallel lineage capture.
+    ///
+    /// Each worker of a morsel-parallel operator captures lineage into its
+    /// own private CSR whose entries are numbered in a partition-local id
+    /// space. `maps[p][local]` rebases partition `p`'s local entry id to the
+    /// global entry id (`0..entries`); several partitions may map onto the
+    /// same global entry (a group whose rows straddle morsel boundaries).
+    ///
+    /// Because CSR stores every edge in one flat buffer, the merge is a
+    /// *memcpy-with-rebase*: a counting pass sums per-global-entry
+    /// cardinalities, then each partition's per-entry rid slice is copied
+    /// verbatim into its pre-computed window — no per-edge hashing or
+    /// re-bucketing. Partitions are drained in slice order, so when callers
+    /// pass partitions in morsel order the rids within each global entry
+    /// stay in ascending rid order, matching sequential capture bit for bit.
+    pub fn merge_remapped(parts: &[CsrRidIndex], maps: &[Vec<u32>], entries: usize) -> CsrRidIndex {
+        debug_assert_eq!(parts.len(), maps.len());
+        let mut counts = vec![0usize; entries];
+        for (part, map) in parts.iter().zip(maps) {
+            debug_assert_eq!(part.len(), map.len());
+            for (local, &global) in map.iter().enumerate() {
+                counts[global as usize] += part.get(local).len();
+            }
+        }
+        let mut builder = CsrBuilder::with_counts(counts);
+        for (part, map) in parts.iter().zip(maps) {
+            for (local, &global) in map.iter().enumerate() {
+                builder.append_slice(global as usize, part.get(local));
+            }
+        }
+        builder.finish()
+    }
 }
 
 /// Asserts (in release builds too) that an edge total fits the `u32` offset
@@ -195,6 +229,21 @@ impl CsrBuilder {
         self.cursors[pos] = cursor + 1;
     }
 
+    /// Appends a whole rid slice to entry `pos` in one `copy_from_slice` —
+    /// the per-entry unit of the parallel merge in
+    /// [`CsrRidIndex::merge_remapped`]. Counts toward the entry's declared
+    /// cardinality exactly like `rids.len()` calls to [`CsrBuilder::append`].
+    #[inline]
+    pub fn append_slice(&mut self, pos: usize, rids: &[Rid]) {
+        let cursor = self.cursors[pos] as usize;
+        debug_assert!(
+            cursor + rids.len() <= self.offsets[pos + 1] as usize,
+            "entry {pos} overflows its declared cardinality"
+        );
+        self.rids[cursor..cursor + rids.len()].copy_from_slice(rids);
+        self.cursors[pos] = (cursor + rids.len()) as u32;
+    }
+
     /// Finishes the build. Panics when any entry received a different number
     /// of rids than declared: `rids` is pre-filled with rid 0, so letting an
     /// undercounted build through would silently attribute outputs to base
@@ -258,6 +307,55 @@ mod tests {
         assert_eq!(csr.get(0), &[5, 6]);
         assert_eq!(csr.get(1), &[] as &[Rid]);
         assert_eq!(csr.get(2), &[10, 11, 12]);
+    }
+
+    #[test]
+    fn append_slice_matches_per_rid_appends() {
+        let mut a = CsrBuilder::with_counts([3usize, 2]);
+        a.append_slice(1, &[7, 8]);
+        a.append_slice(0, &[1]);
+        a.append_slice(0, &[2, 3]);
+        let mut b = CsrBuilder::with_counts([3usize, 2]);
+        for r in [7, 8] {
+            b.append(1, r);
+        }
+        for r in [1, 2, 3] {
+            b.append(0, r);
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn merge_remapped_rebases_partition_local_entries() {
+        // Two partitions over morsels [0,4) and [4,8); three global groups.
+        // Partition 0 saw groups A(=0) and B(=1) locally as 0 and 1;
+        // partition 1 saw B and C first, so locally B=0, C=1, A=2.
+        let p0 = CsrBuilder::with_counts([2usize, 2]);
+        let mut p0 = p0;
+        p0.append_slice(0, &[0, 3]); // A
+        p0.append_slice(1, &[1, 2]); // B
+        let p0 = p0.finish();
+        let mut p1 = CsrBuilder::with_counts([1usize, 2, 1]);
+        p1.append_slice(0, &[5]); // B
+        p1.append_slice(1, &[4, 7]); // C
+        p1.append_slice(2, &[6]); // A
+        let p1 = p1.finish();
+
+        let merged = CsrRidIndex::merge_remapped(&[p0, p1], &[vec![0, 1], vec![1, 2, 0]], 3);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.get(0), &[0, 3, 6], "A: ascending across morsels");
+        assert_eq!(merged.get(1), &[1, 2, 5], "B: straddles the boundary");
+        assert_eq!(merged.get(2), &[4, 7], "C: second morsel only");
+    }
+
+    #[test]
+    fn merge_remapped_handles_empty_partitions() {
+        let merged = CsrRidIndex::merge_remapped(&[], &[], 2);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.get(0), &[] as &[Rid]);
+        let empty = CsrRidIndex::new();
+        let merged = CsrRidIndex::merge_remapped(&[empty], &[vec![]], 0);
+        assert!(merged.is_empty());
     }
 
     #[test]

@@ -64,6 +64,22 @@ pub(crate) const COST_CUBE_CELL: f64 = 2.0;
 /// Fixed per-query overhead (plan + result assembly), keeps tiny inputs from
 /// producing degenerate zero costs.
 pub(crate) const QUERY_OVERHEAD: f64 = 8.0;
+/// Marginal throughput of each worker beyond the first in a morsel-parallel
+/// full scan, as a fraction of the first worker's. Sub-linear on purpose:
+/// memory bandwidth is shared, the merge is sequential, and morsel-boundary
+/// effects waste tail work — a calibrated ~70% keeps the model from crediting
+/// `dop`x speedups that real hardware never delivers.
+pub(crate) const PARALLEL_EFFICIENCY: f64 = 0.7;
+
+/// The modeled speedup of a morsel-parallel full scan at degree of
+/// parallelism `dop`: `1 + (dop - 1) * PARALLEL_EFFICIENCY`. Only the
+/// scan-bound portion of [`Strategy::LazyRewrite`] is divided by this —
+/// trace-bound strategies (Eager/Pruned/Cube) touch far fewer rows and run
+/// sequentially, so parallelism narrows Lazy's gap without reordering the
+/// Cube < Pruned < Eager ladder.
+pub(crate) fn parallel_factor(dop: usize) -> f64 {
+    1.0 + (dop.max(1) - 1) as f64 * PARALLEL_EFFICIENCY
+}
 
 /// One costed strategy candidate.
 #[derive(Debug, Clone)]
@@ -90,6 +106,9 @@ pub struct Explain {
     pub selection_width: usize,
     /// Estimated average lineage fan-out per starting rid.
     pub est_fanout: f64,
+    /// Degree of parallelism the scan costs were modeled with (1 = the
+    /// sequential engine).
+    pub dop: usize,
     /// All candidates, in planning order.
     pub candidates: Vec<CandidateCost>,
 }
@@ -106,8 +125,8 @@ impl Explain {
     /// Renders the explain output as a single human-readable line.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "strategy={} cost={:.1} width={} fanout={:.2} | candidates: ",
-            self.strategy, self.cost, self.selection_width, self.est_fanout
+            "strategy={} cost={:.1} width={} fanout={:.2} dop={} | candidates: ",
+            self.strategy, self.cost, self.selection_width, self.est_fanout, self.dop
         );
         for (i, c) in self.candidates.iter().enumerate() {
             if i > 0 {
@@ -134,6 +153,7 @@ mod tests {
             cost: 12.0,
             selection_width: 1,
             est_fanout: 100.0,
+            dop: 4,
             candidates: vec![
                 CandidateCost {
                     strategy: Strategy::EagerTrace,
@@ -157,6 +177,7 @@ mod tests {
         };
         let line = explain.render();
         assert!(line.starts_with("strategy=CubeHit cost=12.0"));
+        assert!(line.contains("dop=4"));
         assert!(line.contains("EagerTrace=308.0"));
         assert!(line.contains("LazyRewrite=inf (no rewrite info)"));
         assert_eq!(explain.candidate_cost(Strategy::EagerTrace), Some(308.0));
@@ -167,5 +188,15 @@ mod tests {
     fn strategy_display_is_stable() {
         assert_eq!(Strategy::PartitionPruned.to_string(), "PartitionPruned");
         assert_eq!(Strategy::LazyRewrite.to_string(), "LazyRewrite");
+    }
+
+    #[test]
+    fn parallel_factor_is_sublinear_and_monotone() {
+        assert_eq!(parallel_factor(0), 1.0);
+        assert_eq!(parallel_factor(1), 1.0);
+        let f2 = parallel_factor(2);
+        let f8 = parallel_factor(8);
+        assert!(f2 > 1.0 && f2 < 2.0, "marginal workers are discounted");
+        assert!(f8 > f2 && f8 < 8.0);
     }
 }

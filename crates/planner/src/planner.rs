@@ -8,8 +8,8 @@ use smoke_lineage::{CaptureStats, InputLineage, LineageIndex, PartitionedRidInde
 use smoke_storage::{DataType, Relation, Rid, Value};
 
 use crate::cost::{
-    CandidateCost, Explain, Strategy, COST_CUBE_CELL, COST_EDGE, COST_KEY_TERM, COST_ROW_CONSUME,
-    COST_ROW_PREDICATE_SCALAR, COST_ROW_PREDICATE_VECTOR, QUERY_OVERHEAD,
+    parallel_factor, CandidateCost, Explain, Strategy, COST_CUBE_CELL, COST_EDGE, COST_KEY_TERM,
+    COST_ROW_CONSUME, COST_ROW_PREDICATE_SCALAR, COST_ROW_PREDICATE_VECTOR, QUERY_OVERHEAD,
 };
 use crate::query::{Direction, LineageQuery, Selection};
 
@@ -110,6 +110,7 @@ pub struct LineagePlanner<'a> {
     cube: Option<&'a LineageCube>,
     rewrite: Option<RewriteInfo>,
     stats: Option<CaptureStats>,
+    dop: usize,
 }
 
 impl<'a> LineagePlanner<'a> {
@@ -125,6 +126,7 @@ impl<'a> LineagePlanner<'a> {
             cube: None,
             rewrite: None,
             stats: None,
+            dop: 1,
         }
     }
 
@@ -180,6 +182,17 @@ impl<'a> LineagePlanner<'a> {
     /// Registers capture statistics (used as a fallback cardinality source).
     pub fn stats(mut self, stats: CaptureStats) -> Self {
         self.stats = Some(stats);
+        self
+    }
+
+    /// Sets the degree of parallelism the cost model assumes for full scans
+    /// (see [`smoke_core::parallel`]). Only the scan-bound portion of
+    /// [`Strategy::LazyRewrite`] benefits: morsel-parallel scans divide it by
+    /// a sub-linear parallel factor (`1 + (dop - 1) * 0.7`), while the
+    /// trace-bound strategies stay sequential. Values below 1 are clamped to
+    /// 1 (the sequential engine).
+    pub fn with_dop(mut self, dop: usize) -> Self {
+        self.dop = dop.max(1);
         self
     }
 
@@ -316,10 +329,13 @@ impl<'a> LineagePlanner<'a> {
         });
 
         // LazyRewrite: full scan of the base relation with the rewrite
-        // predicate (one OR term per selected output group).
+        // predicate (one OR term per selected output group). The scan is the
+        // only morsel-parallelizable phase any strategy has, so it alone is
+        // discounted by the configured degree of parallelism.
         candidates.push(match (&self.rewrite, query.direction) {
             (Some(_), Direction::Backward) => {
-                let scan = self.base.len() as f64 * (lazy_row_cost + width as f64 * COST_KEY_TERM);
+                let scan = self.base.len() as f64 * (lazy_row_cost + width as f64 * COST_KEY_TERM)
+                    / parallel_factor(self.dop);
                 let consume = if aggregates {
                     traced_est * COST_ROW_CONSUME
                 } else {
@@ -356,6 +372,7 @@ impl<'a> LineagePlanner<'a> {
             cost: best.cost,
             selection_width: width,
             est_fanout,
+            dop: self.dop,
             candidates: candidates.clone(),
         };
         Ok(LineagePlan {

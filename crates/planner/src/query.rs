@@ -64,6 +64,37 @@ impl Consume {
 ///     .aggregate(&["month"], vec![AggExpr::count("cnt")]);
 /// assert_eq!(q.direction(), smoke_planner::Direction::Backward);
 /// ```
+///
+/// End to end: capture a group-by, then trace one output group back to the
+/// base rows that formed it.
+///
+/// ```
+/// use smoke_core::ops::groupby::{group_by, GroupByOptions};
+/// use smoke_core::AggExpr;
+/// use smoke_planner::{LineagePlanner, LineageQuery, Strategy};
+/// use smoke_storage::{DataType, Relation, Value};
+///
+/// let base = Relation::builder("t")
+///     .column("k", DataType::Int)
+///     .row(vec![Value::Int(1)])
+///     .row(vec![Value::Int(2)])
+///     .row(vec![Value::Int(1)])
+///     .build()
+///     .unwrap();
+/// let captured = group_by(
+///     &base,
+///     &["k".to_string()],
+///     &[AggExpr::count("c")],
+///     &GroupByOptions::inject(),
+/// )
+/// .unwrap();
+///
+/// let planner = LineagePlanner::new(&base, &captured.output)
+///     .lineage(captured.lineage.input(0));
+/// let result = planner.execute(&LineageQuery::backward().rids([0])).unwrap();
+/// assert_eq!(result.strategy, Strategy::EagerTrace);
+/// assert_eq!(result.rids, vec![0, 2]); // group k=1 came from rows 0 and 2
+/// ```
 #[derive(Debug, Clone)]
 pub struct LineageQuery<'a> {
     pub(crate) direction: Direction,
@@ -106,6 +137,14 @@ impl<'a> LineageQuery<'a> {
     }
 
     /// Starts the trace from the rows matching `predicate`.
+    ///
+    /// ```
+    /// use smoke_core::Expr;
+    /// use smoke_planner::{LineageQuery, Selection};
+    ///
+    /// let q = LineageQuery::backward().matching(Expr::col("cnt").ge(Expr::lit(150)));
+    /// assert!(matches!(q.selection(), Selection::Predicate(_)));
+    /// ```
     pub fn matching(mut self, predicate: Expr) -> Self {
         self.selection = Selection::Predicate(predicate);
         self
@@ -127,6 +166,16 @@ impl<'a> LineageQuery<'a> {
 
     /// Aggregates the traced rows: `SELECT keys, aggs FROM traced GROUP BY
     /// keys`.
+    ///
+    /// ```
+    /// use smoke_core::AggExpr;
+    /// use smoke_planner::LineageQuery;
+    ///
+    /// let q = LineageQuery::backward()
+    ///     .rids([0])
+    ///     .aggregate(&["region"], vec![AggExpr::sum("sales", "total")]);
+    /// assert!(q.consumes());
+    /// ```
     pub fn aggregate(mut self, keys: &[&str], aggs: Vec<AggExpr>) -> Self {
         self.consume.keys = keys.iter().map(|k| k.to_string()).collect();
         self.consume.aggs = aggs;

@@ -10,6 +10,13 @@
 //! floats when mixed, floats order by `f64::total_cmp`, strings order after
 //! numbers), so a kernel evaluation of a predicate is bit-for-bit equivalent
 //! to the row-at-a-time interpreter.
+//!
+//! Every comparison kernel has a `*_range` variant evaluating only the rows
+//! of one [`Morsel`](crate::Morsel) into a morsel-local mask (bit `i` of the
+//! result is row `start + i`); the whole-column kernels are the `0..len`
+//! special case. Morsel-local masks reassemble with [`SelectionMask::append`],
+//! which is a word-level `memcpy` whenever the running mask's length is a
+//! multiple of 64 — the invariant morsel iteration guarantees.
 
 use crate::{Column, Rid, Value};
 use std::cmp::Ordering;
@@ -189,6 +196,30 @@ impl SelectionMask {
         self.for_each_one(|row| out.push(row as Rid));
         out
     }
+
+    /// Appends `other`'s bits after this mask's rows (mask stitching): bit `i`
+    /// of `other` becomes bit `self.len() + i` of `self`.
+    ///
+    /// When `self.len()` is a multiple of 64 — always the case when stitching
+    /// morsel-local masks back together, because morsel boundaries are
+    /// 64-aligned (see [`crate::morsel`]) — the append is a straight word
+    /// copy. Unaligned lengths take a bit-shifting slow path.
+    pub fn append(&mut self, other: &SelectionMask) {
+        let shift = self.len % 64;
+        if shift == 0 {
+            self.words.extend_from_slice(&other.words);
+        } else {
+            for &w in &other.words {
+                *self.words.last_mut().expect("len % 64 != 0 implies a word") |= w << shift;
+                self.words.push(w >> (64 - shift));
+            }
+        }
+        self.len += other.len;
+        // The shifting path can push one word more than the new length needs;
+        // both paths preserve the cleared-tail invariant after the trim.
+        self.words.truncate(self.len.div_ceil(64));
+        self.clear_tail();
+    }
 }
 
 /// Compares every row of `col` against a literal, producing a selection mask.
@@ -197,11 +228,23 @@ impl SelectionMask {
 /// order after numbers under [`Value::total_cmp`]), so they produce a
 /// constant mask rather than touching the data.
 pub fn cmp_col_lit(col: &Column, op: KernelCmp, lit: &Value) -> SelectionMask {
-    let len = col.len();
+    cmp_col_lit_range(col, op, lit, 0, col.len())
+}
+
+/// [`cmp_col_lit`] restricted to rows `start..end`: bit `i` of the result is
+/// row `start + i`.
+pub fn cmp_col_lit_range(
+    col: &Column,
+    op: KernelCmp,
+    lit: &Value,
+    start: usize,
+    end: usize,
+) -> SelectionMask {
+    let len = end - start;
     match (col, lit) {
         (Column::Int(v), Value::Int(x)) => {
             let mut mask = SelectionMask::all_false(len);
-            for (i, a) in v.iter().enumerate() {
+            for (i, a) in v[start..end].iter().enumerate() {
                 if op.matches(a.cmp(x)) {
                     mask.set(i);
                 }
@@ -210,7 +253,7 @@ pub fn cmp_col_lit(col: &Column, op: KernelCmp, lit: &Value) -> SelectionMask {
         }
         (Column::Int(v), Value::Float(x)) => {
             let mut mask = SelectionMask::all_false(len);
-            for (i, &a) in v.iter().enumerate() {
+            for (i, &a) in v[start..end].iter().enumerate() {
                 if op.matches((a as f64).total_cmp(x)) {
                     mask.set(i);
                 }
@@ -219,7 +262,7 @@ pub fn cmp_col_lit(col: &Column, op: KernelCmp, lit: &Value) -> SelectionMask {
         }
         (Column::Float(v), Value::Float(x)) => {
             let mut mask = SelectionMask::all_false(len);
-            for (i, a) in v.iter().enumerate() {
+            for (i, a) in v[start..end].iter().enumerate() {
                 if op.matches(a.total_cmp(x)) {
                     mask.set(i);
                 }
@@ -229,7 +272,7 @@ pub fn cmp_col_lit(col: &Column, op: KernelCmp, lit: &Value) -> SelectionMask {
         (Column::Float(v), Value::Int(x)) => {
             let x = *x as f64;
             let mut mask = SelectionMask::all_false(len);
-            for (i, a) in v.iter().enumerate() {
+            for (i, a) in v[start..end].iter().enumerate() {
                 if op.matches(a.total_cmp(&x)) {
                     mask.set(i);
                 }
@@ -238,7 +281,7 @@ pub fn cmp_col_lit(col: &Column, op: KernelCmp, lit: &Value) -> SelectionMask {
         }
         (Column::Str(v), Value::Str(x)) => {
             let mut mask = SelectionMask::all_false(len);
-            for (i, a) in v.iter().enumerate() {
+            for (i, a) in v[start..end].iter().enumerate() {
                 if op.matches(a.as_str().cmp(x.as_str())) {
                     mask.set(i);
                 }
@@ -254,12 +297,24 @@ pub fn cmp_col_lit(col: &Column, op: KernelCmp, lit: &Value) -> SelectionMask {
 /// Compares two columns row-wise, producing a selection mask. The columns
 /// must have the same length.
 pub fn cmp_col_col(left: &Column, op: KernelCmp, right: &Column) -> SelectionMask {
-    let len = left.len();
-    debug_assert_eq!(len, right.len(), "column length mismatch");
+    cmp_col_col_range(left, op, right, 0, left.len())
+}
+
+/// [`cmp_col_col`] restricted to rows `start..end`: bit `i` of the result is
+/// row `start + i`.
+pub fn cmp_col_col_range(
+    left: &Column,
+    op: KernelCmp,
+    right: &Column,
+    start: usize,
+    end: usize,
+) -> SelectionMask {
+    let len = end - start;
+    debug_assert_eq!(left.len(), right.len(), "column length mismatch");
     match (left, right) {
         (Column::Int(a), Column::Int(b)) => {
             let mut mask = SelectionMask::all_false(len);
-            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            for (i, (x, y)) in a[start..end].iter().zip(&b[start..end]).enumerate() {
                 if op.matches(x.cmp(y)) {
                     mask.set(i);
                 }
@@ -268,7 +323,7 @@ pub fn cmp_col_col(left: &Column, op: KernelCmp, right: &Column) -> SelectionMas
         }
         (Column::Int(a), Column::Float(b)) => {
             let mut mask = SelectionMask::all_false(len);
-            for (i, (&x, y)) in a.iter().zip(b).enumerate() {
+            for (i, (&x, y)) in a[start..end].iter().zip(&b[start..end]).enumerate() {
                 if op.matches((x as f64).total_cmp(y)) {
                     mask.set(i);
                 }
@@ -277,7 +332,7 @@ pub fn cmp_col_col(left: &Column, op: KernelCmp, right: &Column) -> SelectionMas
         }
         (Column::Float(a), Column::Int(b)) => {
             let mut mask = SelectionMask::all_false(len);
-            for (i, (x, &y)) in a.iter().zip(b).enumerate() {
+            for (i, (x, &y)) in a[start..end].iter().zip(&b[start..end]).enumerate() {
                 if op.matches(x.total_cmp(&(y as f64))) {
                     mask.set(i);
                 }
@@ -286,7 +341,7 @@ pub fn cmp_col_col(left: &Column, op: KernelCmp, right: &Column) -> SelectionMas
         }
         (Column::Float(a), Column::Float(b)) => {
             let mut mask = SelectionMask::all_false(len);
-            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            for (i, (x, y)) in a[start..end].iter().zip(&b[start..end]).enumerate() {
                 if op.matches(x.total_cmp(y)) {
                     mask.set(i);
                 }
@@ -295,7 +350,7 @@ pub fn cmp_col_col(left: &Column, op: KernelCmp, right: &Column) -> SelectionMas
         }
         (Column::Str(a), Column::Str(b)) => {
             let mut mask = SelectionMask::all_false(len);
-            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            for (i, (x, y)) in a[start..end].iter().zip(&b[start..end]).enumerate() {
                 if op.matches(x.cmp(y)) {
                     mask.set(i);
                 }
@@ -315,7 +370,13 @@ pub fn cmp_col_col(left: &Column, op: KernelCmp, right: &Column) -> SelectionMas
 /// equality holds iff the coerced bit patterns coincide (`f64::total_cmp`
 /// distinguishes `0.0` from `-0.0`); string/numeric pairs never match.
 pub fn in_list(col: &Column, list: &[Value]) -> SelectionMask {
-    let len = col.len();
+    in_list_range(col, list, 0, col.len())
+}
+
+/// [`in_list`] restricted to rows `start..end`: bit `i` of the result is row
+/// `start + i`.
+pub fn in_list_range(col: &Column, list: &[Value], start: usize, end: usize) -> SelectionMask {
+    let len = end - start;
     match col {
         Column::Int(v) => {
             let int_targets: Vec<i64> = list.iter().filter_map(Value::as_int).collect();
@@ -327,7 +388,7 @@ pub fn in_list(col: &Column, list: &[Value]) -> SelectionMask {
                 })
                 .collect();
             let mut mask = SelectionMask::all_false(len);
-            for (i, &a) in v.iter().enumerate() {
+            for (i, &a) in v[start..end].iter().enumerate() {
                 let hit = int_targets.contains(&a)
                     || (!float_bits.is_empty() && float_bits.contains(&(a as f64).to_bits()));
                 if hit {
@@ -344,7 +405,7 @@ pub fn in_list(col: &Column, list: &[Value]) -> SelectionMask {
                 .filter_map(|x| x.as_float().map(f64::to_bits))
                 .collect();
             let mut mask = SelectionMask::all_false(len);
-            for (i, a) in v.iter().enumerate() {
+            for (i, a) in v[start..end].iter().enumerate() {
                 if bits.contains(&a.to_bits()) {
                     mask.set(i);
                 }
@@ -354,7 +415,7 @@ pub fn in_list(col: &Column, list: &[Value]) -> SelectionMask {
         Column::Str(v) => {
             let strs: Vec<&str> = list.iter().filter_map(Value::as_str).collect();
             let mut mask = SelectionMask::all_false(len);
-            for (i, a) in v.iter().enumerate() {
+            for (i, a) in v[start..end].iter().enumerate() {
                 if strs.contains(&a.as_str()) {
                     mask.set(i);
                 }
@@ -606,6 +667,83 @@ mod tests {
         // String column.
         let mask = in_list(&str_col(), &[Value::Str("a".into()), Value::Int(1)]);
         assert_eq!(mask.to_rids(), vec![1]);
+    }
+
+    #[test]
+    fn append_stitches_morsel_masks() {
+        // Word-aligned path: 64-row first mask, arbitrary second.
+        let mut acc = SelectionMask::all_false(64);
+        acc.set(0);
+        acc.set(63);
+        let mut tail = SelectionMask::all_false(70);
+        tail.set(1);
+        tail.set(69);
+        acc.append(&tail);
+        assert_eq!(acc.len(), 134);
+        assert_eq!(acc.to_rids(), vec![0, 63, 65, 133]);
+
+        // Unaligned path: first mask not a multiple of 64.
+        let mut acc = SelectionMask::all_false(10);
+        acc.set(9);
+        let tail = tail_mask(&(0..130).filter(|&i| i != 64).collect::<Vec<_>>(), 130);
+        acc.append(&tail);
+        assert_eq!(acc.len(), 140);
+        let expect: Vec<Rid> = std::iter::once(9)
+            .chain((10..140).filter(|&i| i != 74))
+            .collect();
+        assert_eq!(acc.to_rids(), expect);
+
+        // Appending an empty mask is a no-op; appending to empty copies.
+        let mut acc = SelectionMask::all_false(0);
+        acc.append(&tail_mask(&[0, 2], 3));
+        acc.append(&SelectionMask::all_false(0));
+        assert_eq!(acc.to_rids(), vec![0, 2]);
+        assert_eq!(acc.len(), 3);
+    }
+
+    fn tail_mask(bits: &[usize], len: usize) -> SelectionMask {
+        let mut m = SelectionMask::all_false(len);
+        for &b in bits {
+            m.set(b);
+        }
+        m
+    }
+
+    #[test]
+    fn range_kernels_agree_with_whole_column() {
+        let cases: Vec<(Column, Value)> = vec![
+            (int_col(), Value::Int(3)),
+            (float_col(), Value::Float(0.5)),
+            (str_col(), Value::Str("b".into())),
+            (int_col(), Value::Str("a".into())),
+        ];
+        for (col, lit) in &cases {
+            let whole = cmp_col_lit(col, KernelCmp::Ge, lit);
+            for start in 0..col.len() {
+                for end in start..=col.len() {
+                    let part = cmp_col_lit_range(col, KernelCmp::Ge, lit, start, end);
+                    assert_eq!(part.len(), end - start);
+                    for i in 0..part.len() {
+                        assert_eq!(part.get(i), whole.get(start + i), "{col:?} {start}..{end}");
+                    }
+                }
+            }
+        }
+
+        let a = Column::Int(vec![1, 5, 3, 2, 2]);
+        let b = Column::Float(vec![1.0, 4.5, 9.0, 2.0, -1.0]);
+        let whole = cmp_col_col(&a, KernelCmp::Lt, &b);
+        let part = cmp_col_col_range(&a, KernelCmp::Lt, &b, 1, 4);
+        for i in 0..3 {
+            assert_eq!(part.get(i), whole.get(1 + i));
+        }
+
+        let list = [Value::Int(3), Value::Float(0.5)];
+        let whole = in_list(&int_col(), &list);
+        let part = in_list_range(&int_col(), &list, 2, 5);
+        for i in 0..3 {
+            assert_eq!(part.get(i), whole.get(2 + i));
+        }
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //!
 //! * relations are stored column-at-a-time (`Vec<i64>`, `Vec<f64>`,
 //!   `Vec<String>`) for memory compactness,
-//! * execution above this layer is row-at-a-time and single-threaded, exactly
-//!   as in the paper,
+//! * execution above this layer is either row-at-a-time (the interpreter
+//!   baseline, exactly as in the paper), vectorized over [`kernels`], or
+//!   partition-parallel over [`morsel`] ranges of 64-aligned rows,
 //! * every tuple is addressed by its **rid** (row identifier), the position of
 //!   the tuple inside its relation. Lineage indexes built by `smoke-lineage`
 //!   map rids of one relation to rids of another.
@@ -34,6 +35,7 @@ pub mod csv;
 mod database;
 mod error;
 pub mod kernels;
+pub mod morsel;
 mod relation;
 mod rid;
 mod schema;
@@ -43,6 +45,7 @@ pub use column::Column;
 pub use database::Database;
 pub use error::StorageError;
 pub use kernels::{KernelCmp, SelectionMask};
+pub use morsel::{align_morsel_rows, morsels, Morsel, DEFAULT_MORSEL_ROWS};
 pub use relation::{Relation, RelationBuilder, RowRef};
 pub use rid::{Rid, RidVec};
 pub use schema::{Field, Schema};

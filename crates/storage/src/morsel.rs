@@ -1,0 +1,100 @@
+//! Morsel iteration: fixed-size row ranges for partition-parallel execution.
+//!
+//! A *morsel* is a contiguous rid range of a relation, the unit of work a
+//! parallel operator driver hands to a worker thread (Leis et al.'s
+//! morsel-driven parallelism, adapted to Smoke's fused lineage capture).
+//! Morsel boundaries are always multiples of 64 rows so that the per-morsel
+//! [`SelectionMask`](crate::SelectionMask) bitmaps produced by the range
+//! kernels stitch back together word-aligned — appending a morsel's mask to
+//! the running mask is a plain `memcpy` of `u64` words, never a bit shift.
+
+/// A contiguous rid range `[start, end)` of one relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// First rid of the range (inclusive).
+    pub start: usize,
+    /// One past the last rid of the range (exclusive).
+    pub end: usize,
+}
+
+impl Morsel {
+    /// Number of rows in the morsel.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the morsel covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Default morsel size in rows. Large enough that per-morsel scheduling and
+/// merge overheads vanish against the scan work, small enough that a 1M-row
+/// relation still yields good load balancing across 8+ workers.
+pub const DEFAULT_MORSEL_ROWS: usize = 64 * 1024;
+
+/// Rounds a requested morsel size up to the mask-word alignment every parallel
+/// driver relies on: a positive multiple of 64.
+pub fn align_morsel_rows(rows: usize) -> usize {
+    rows.max(1).div_ceil(64) * 64
+}
+
+/// Splits `len` rows into fixed-size morsels.
+///
+/// `morsel_rows` is aligned via [`align_morsel_rows`] first, so every morsel
+/// except possibly the last covers a multiple of 64 rows and starts on a
+/// 64-row boundary. `len == 0` yields no morsels.
+pub fn morsels(len: usize, morsel_rows: usize) -> Vec<Morsel> {
+    let step = align_morsel_rows(morsel_rows);
+    let mut out = Vec::with_capacity(len.div_ceil(step.max(1)));
+    let mut start = 0;
+    while start < len {
+        let end = (start + step).min(len);
+        out.push(Morsel { start, end });
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_cover_the_range_exactly_once() {
+        let ms = morsels(1_000, 256);
+        assert_eq!(ms.len(), 4);
+        assert_eq!(ms[0], Morsel { start: 0, end: 256 });
+        assert_eq!(
+            ms[3],
+            Morsel {
+                start: 768,
+                end: 1_000
+            }
+        );
+        assert_eq!(ms.iter().map(Morsel::len).sum::<usize>(), 1_000);
+        for w in ms.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn morsel_rows_are_aligned_to_64() {
+        assert_eq!(align_morsel_rows(1), 64);
+        assert_eq!(align_morsel_rows(64), 64);
+        assert_eq!(align_morsel_rows(65), 128);
+        assert_eq!(align_morsel_rows(0), 64);
+        let ms = morsels(300, 100); // aligned up to 128
+        assert_eq!(ms.len(), 3);
+        assert!(ms[0].start.is_multiple_of(64) && ms[1].start.is_multiple_of(64));
+    }
+
+    #[test]
+    fn empty_and_single_morsel_inputs() {
+        assert!(morsels(0, 64).is_empty());
+        let ms = morsels(10, DEFAULT_MORSEL_ROWS);
+        assert_eq!(ms, vec![Morsel { start: 0, end: 10 }]);
+        assert!(!ms[0].is_empty());
+    }
+}
