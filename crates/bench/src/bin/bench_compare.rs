@@ -1,0 +1,136 @@
+//! Compares a freshly generated `BENCH_*.json` artifact against a committed
+//! baseline and flags latency regressions.
+//!
+//! ```text
+//! bench_compare <baseline.json> <fresh.json> [--threshold 2.0] [--floor-ms 0.05]
+//! ```
+//!
+//! Rows are keyed on `(experiment, config, technique, metric)`; only timing
+//! metrics (`*_ms`) are compared — counters, ratios, and cost estimates are
+//! structural and checked for presence only. A fresh value more than
+//! `threshold ×` the baseline (with both above the noise floor) is a
+//! regression: it is printed as a GitHub Actions `::warning::` annotation and
+//! the exit code is 1, which CI attaches to a `continue-on-error` step so
+//! regressions annotate the run without blocking it. A missing or unreadable
+//! baseline exits 0 (first run of a new experiment).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use smoke_planner::json::{parse, Json};
+
+/// `(experiment, config, technique, metric)` → value.
+type Rows = BTreeMap<(String, String, String, String), f64>;
+
+fn load(path: &str) -> Result<Rows, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let v = parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| format!("{path}: not a JSON array"))?;
+    let mut rows = Rows::new();
+    for row in arr {
+        let field = |k: &str| {
+            row.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{path}: row is missing `{k}`"))
+        };
+        let key = (
+            field("experiment")?,
+            field("config")?,
+            field("technique")?,
+            field("metric")?,
+        );
+        // `null` marks a non-finite measurement; skip it.
+        if let Some(value) = row.get("value").and_then(Json::as_f64) {
+            rows.insert(key, value);
+        }
+    }
+    Ok(rows)
+}
+
+fn main() -> ExitCode {
+    let mut positional = Vec::new();
+    let mut threshold = 2.0f64;
+    let mut floor_ms = 0.05f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold requires a number")
+            }
+            "--floor-ms" => {
+                floor_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--floor-ms requires a number")
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [baseline_path, fresh_path] = positional.as_slice() else {
+        eprintln!(
+            "usage: bench_compare <baseline.json> <fresh.json> [--threshold X] [--floor-ms Y]"
+        );
+        return ExitCode::from(2);
+    };
+
+    // A missing baseline is not a failure: the first run of a new experiment
+    // has nothing to compare against.
+    let baseline = match load(baseline_path) {
+        Ok(rows) => rows,
+        Err(e) => {
+            println!("no usable baseline ({e}); skipping comparison");
+            return ExitCode::SUCCESS;
+        }
+    };
+    let fresh = match load(fresh_path) {
+        Ok(rows) => rows,
+        Err(e) => {
+            println!("::warning::bench_compare could not read the fresh artifact: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (key, &base) in &baseline {
+        let (exp, config, technique, metric) = key;
+        if !metric.ends_with("_ms") {
+            continue;
+        }
+        let Some(&now) = fresh.get(key) else {
+            // Scale/config drift renames keys; that is a baseline-refresh
+            // signal, not a perf regression.
+            println!(
+                "note: baseline row {exp}/{config}/{technique}/{metric} missing from fresh run"
+            );
+            continue;
+        };
+        compared += 1;
+        // Both sides below the floor are timer noise regardless of ratio.
+        if now <= floor_ms || base <= 0.0 {
+            continue;
+        }
+        let ratio = now / base.max(floor_ms);
+        if ratio > threshold {
+            regressions += 1;
+            println!(
+                "::warning title=bench regression::{exp} {config} {technique} {metric}: \
+                 {now:.3}ms vs baseline {base:.3}ms ({ratio:.2}x > {threshold:.2}x)"
+            );
+        }
+    }
+    println!(
+        "compared {compared} timing rows against {baseline_path}: {regressions} regression(s)"
+    );
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

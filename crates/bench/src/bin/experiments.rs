@@ -13,8 +13,8 @@
 //! more) to approach the paper's dataset sizes.
 
 use smoke_bench::{
-    apps_exp, micro, parallel_exp, planner_exp, query_exp, render_json, render_table, tpch_exp,
-    vectorized_exp, ExpRow, Scale,
+    apps_exp, micro, parallel_exp, planner_exp, query_exp, render_json, render_table, server_exp,
+    tpch_exp, vectorized_exp, ExpRow, Scale,
 };
 
 /// One runnable experiment: its CLI name, the one-line description shown by
@@ -140,6 +140,11 @@ const EXPERIMENTS: &[Experiment] = &[
         name: "parallel",
         describe: "Morsel-parallel select/group-by vs sequential (DOP 1/2/4/8)",
         run: parallel_exp::parallel,
+    },
+    Experiment {
+        name: "server",
+        describe: "Concurrent serving: QPS, p50/p99 latency, cache hit rate",
+        run: server_exp::server,
     },
 ];
 

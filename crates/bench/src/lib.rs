@@ -17,6 +17,7 @@ pub mod micro;
 pub mod parallel_exp;
 pub mod planner_exp;
 pub mod query_exp;
+pub mod server_exp;
 pub mod tpch_exp;
 pub mod vectorized_exp;
 

@@ -1,0 +1,168 @@
+//! Serving-layer throughput and latency under the interactive query mix.
+//!
+//! Starts an in-process lineage server on an ephemeral port, drives it with
+//! concurrent clients issuing the zipf-skewed brush / linked-view /
+//! crossfilter / drilldown / forward mix, and reports sustained QPS,
+//! p50/p99 latency, the cache hit rate, and the shed rate — both with the
+//! result cache enabled and disabled, so `BENCH_server.json` records what
+//! the cache buys on a skewed interactive workload.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smoke_server::{demo_snapshot, Client, QueryMix, Reply, Server, ServerConfig};
+
+use crate::{ExpRow, Scale};
+
+/// Client threads driving the server.
+const CLIENTS: usize = 4;
+
+/// Latency percentile over a sorted sample set.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The `server` experiment: concurrent serving QPS/latency with the cache
+/// on and off.
+pub fn server(scale: &Scale) -> Vec<ExpRow> {
+    let rows_n = scale.size(50_000, 2_000);
+    let groups = 100usize;
+    let queries_per_client = scale.size(400, 50);
+    let snapshot = Arc::new(demo_snapshot(rows_n, groups, 21));
+    let n_groups = snapshot.view("by_z").expect("by_z").output().len();
+    let config = format!("n={rows_n},g={groups},clients={CLIENTS},q={queries_per_client}");
+
+    let mut out = Vec::new();
+    for (technique, cache_capacity) in [("Cached", 256usize), ("Uncached", 0usize)] {
+        let handle = Server::serve(
+            Arc::clone(&snapshot),
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 4,
+                queue_depth: 64,
+                cache_capacity,
+            },
+        )
+        .expect("bind ephemeral port");
+        let addr = handle.addr();
+
+        let shed = Arc::new(AtomicU64::new(0));
+        let start = Instant::now();
+        let threads: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let shed = Arc::clone(&shed);
+                std::thread::spawn(move || {
+                    let mut mix = QueryMix::new(n_groups, rows_n, 1_000 + c as u64);
+                    let mut client = Client::connect(addr).expect("connect");
+                    client
+                        .set_timeout(Some(Duration::from_secs(60)))
+                        .expect("timeout");
+                    let mut latencies_ms = Vec::with_capacity(queries_per_client);
+                    for _ in 0..queries_per_client {
+                        let (view, spec) = mix.next_query();
+                        let t = Instant::now();
+                        match client.query(view, spec).expect("exchange") {
+                            Reply::Result(_) => {
+                                latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                            }
+                            Reply::Busy(_) => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            other => panic!("unexpected reply: {other:?}"),
+                        }
+                    }
+                    latencies_ms
+                })
+            })
+            .collect();
+        let mut latencies: Vec<f64> = threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("client thread"))
+            .collect();
+        let elapsed = start.elapsed();
+        let stats = handle.shutdown();
+
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let served = latencies.len() as f64;
+        let qps = if elapsed.is_zero() {
+            0.0
+        } else {
+            served / elapsed.as_secs_f64()
+        };
+        let total = (CLIENTS * queries_per_client) as f64;
+        out.push(ExpRow::new("server", &config, technique, "qps", qps));
+        out.push(ExpRow::new(
+            "server",
+            &config,
+            technique,
+            "p50_ms",
+            percentile(&latencies, 0.50),
+        ));
+        out.push(ExpRow::new(
+            "server",
+            &config,
+            technique,
+            "p99_ms",
+            percentile(&latencies, 0.99),
+        ));
+        out.push(ExpRow::new(
+            "server",
+            &config,
+            technique,
+            "cache_hit_rate",
+            stats.cache_hit_rate(),
+        ));
+        out.push(ExpRow::new(
+            "server",
+            &config,
+            technique,
+            "shed_rate",
+            shed.load(Ordering::Relaxed) as f64 / total,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_experiment_reports_both_cache_modes() {
+        let rows = server(&Scale::tiny());
+        for technique in ["Cached", "Uncached"] {
+            for metric in ["qps", "p50_ms", "p99_ms", "cache_hit_rate", "shed_rate"] {
+                assert!(
+                    rows.iter()
+                        .any(|r| r.technique == technique && r.metric == metric),
+                    "missing {technique}/{metric}"
+                );
+            }
+        }
+        // The skewed mix must actually hit an enabled cache, and a disabled
+        // cache can never hit.
+        let hit_rate = |technique: &str| {
+            rows.iter()
+                .find(|r| r.technique == technique && r.metric == "cache_hit_rate")
+                .map(|r| r.value)
+                .unwrap()
+        };
+        assert!(hit_rate("Cached") > 0.0);
+        assert!(hit_rate("Uncached") == 0.0);
+        assert!(rows.iter().all(|r| r.value.is_finite()));
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert!((percentile(&sorted, 0.5) - 50.0).abs() <= 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

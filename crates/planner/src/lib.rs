@@ -24,7 +24,12 @@
 //!   candidate considered;
 //! * a unified [`LineageResult`] (traced rids + optional answer relation)
 //!   and a `std::thread`-parallel batch path
-//!   ([`LineagePlanner::execute_batch`]) for multi-rid-set traces.
+//!   ([`LineagePlanner::execute_batch`]) for multi-rid-set traces;
+//! * [`wire`] — [`wire::QuerySpec`], the owned JSON-serializable mirror of
+//!   [`LineageQuery`] (compose chains name views instead of borrowing
+//!   indexes), result/explain encoders, and the cache-key normalization the
+//!   serving layer's plan/result cache is keyed on, all over the dependency-
+//!   free [`json`] module.
 //!
 //! ```
 //! use smoke_core::ops::groupby::{group_by, GroupByOptions};
@@ -59,8 +64,10 @@
 #![warn(missing_docs)]
 
 mod cost;
+pub mod json;
 mod planner;
 mod query;
+pub mod wire;
 
 pub use cost::{CandidateCost, Explain, Strategy};
 pub use planner::{LineagePlan, LineagePlanner, LineageResult, RewriteInfo};

@@ -1,0 +1,85 @@
+//! The `smoke-server` binary: serve the demo snapshot over TCP.
+//!
+//! ```text
+//! smoke-server [--addr 127.0.0.1:7878] [--rows 100000] [--groups 100]
+//!              [--workers 4] [--queue 64] [--cache 256] [--seed 21]
+//! ```
+//!
+//! Builds the zipfian demo snapshot (views `by_z` and `by_bin`), binds the
+//! address, and serves until the process is killed. Clients speak the
+//! length-prefixed JSON protocol of `smoke_server::protocol`.
+
+use std::sync::Arc;
+
+use smoke_server::{demo_snapshot, Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: smoke-server [--addr HOST:PORT] [--rows N] [--groups N] \
+         [--workers N] [--queue N] [--cache N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut rows = 100_000usize;
+    let mut groups = 100usize;
+    let mut seed = 21u64;
+    let mut config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| usage_for(flag));
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--rows" => rows = parse(&value("--rows"), "--rows"),
+            "--groups" => groups = parse(&value("--groups"), "--groups"),
+            "--workers" => config.workers = parse(&value("--workers"), "--workers"),
+            "--queue" => config.queue_depth = parse(&value("--queue"), "--queue"),
+            "--cache" => config.cache_capacity = parse(&value("--cache"), "--cache"),
+            "--seed" => seed = parse(&value("--seed"), "--seed"),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    eprintln!("building demo snapshot: rows={rows} groups={groups} seed={seed} ...");
+    let snapshot = Arc::new(demo_snapshot(rows, groups, seed));
+    eprintln!(
+        "snapshot ready: views={:?}, ~{} KiB",
+        snapshot.view_names(),
+        snapshot.heap_bytes() / 1024
+    );
+
+    let handle = match Server::serve(snapshot, addr.as_str(), config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("failed to bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "serving on {} (workers={}, queue={}, cache={})",
+        handle.addr(),
+        config.workers,
+        config.queue_depth,
+        config.cache_capacity
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: {text}");
+        std::process::exit(2);
+    })
+}
+
+fn usage_for(flag: &str) -> String {
+    eprintln!("{flag} requires a value");
+    std::process::exit(2);
+}

@@ -1,0 +1,125 @@
+//! The result cache keys on *normalized* queries: semantically equivalent
+//! requests hit one entry, distinct requests miss.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use smoke_core::Expr;
+use smoke_planner::wire::QuerySpec;
+use smoke_server::{demo_snapshot, Client, Server, ServerConfig};
+
+/// Equivalent query spellings — permuted/duplicated rid sets, flipped
+/// comparison operands, reordered conjunctions — produce one miss and then
+/// only hits; a genuinely different query misses again.
+#[test]
+fn equivalent_queries_share_a_cache_entry() {
+    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21));
+    let handle = Server::serve(snapshot, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+
+    let spellings = [
+        QuerySpec::backward()
+            .rids([3, 1, 2])
+            .filter(Expr::col("v_bin").eq(Expr::lit(2))),
+        QuerySpec::backward()
+            .rids([1, 2, 3, 3, 1])
+            .filter(Expr::col("v_bin").eq(Expr::lit(2))),
+        QuerySpec::backward()
+            .rids([2, 3, 1])
+            .filter(Expr::lit(2).eq(Expr::col("v_bin"))),
+    ];
+    let baseline = handle.stats();
+    let first = client
+        .query("by_z", spellings[0].clone())
+        .expect("exchange")
+        .into_result();
+    for spelling in &spellings[1..] {
+        let reply = client
+            .query("by_z", spelling.clone())
+            .expect("exchange")
+            .into_result();
+        // Byte-identical caching implies result-identical replies.
+        assert_eq!(reply.rids, first.rids);
+        assert_eq!(reply.strategy, first.strategy);
+    }
+    let after = handle.stats();
+    assert_eq!(after.cache_misses - baseline.cache_misses, 1);
+    assert_eq!(after.cache_hits - baseline.cache_hits, 2);
+
+    // A different rid set is a different key.
+    client
+        .query("by_z", QuerySpec::backward().rids([1, 2]))
+        .expect("exchange")
+        .into_result();
+    let distinct = handle.stats();
+    assert_eq!(distinct.cache_misses - after.cache_misses, 1);
+
+    // Same normalized query on a *different view* is also a different key.
+    client
+        .query("by_bin", QuerySpec::backward().rids([1, 2, 3]))
+        .expect("exchange")
+        .into_result();
+    let other_view = handle.stats();
+    assert_eq!(other_view.cache_misses - distinct.cache_misses, 1);
+    handle.shutdown();
+}
+
+/// Mirrored inequalities normalize to the same key (`5 < x` ≡ `x > 5`).
+#[test]
+fn mirrored_inequalities_hit() {
+    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21));
+    let handle = Server::serve(snapshot, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+
+    let a = QuerySpec::backward()
+        .rids([0])
+        .filter(Expr::lit(5).lt(Expr::col("v")));
+    let b = QuerySpec::backward()
+        .rids([0])
+        .filter(Expr::col("v").gt(Expr::lit(5)));
+    assert_eq!(a.cache_key(), b.cache_key());
+
+    let baseline = handle.stats();
+    client.query("by_z", a).expect("exchange").into_result();
+    client.query("by_z", b).expect("exchange").into_result();
+    let after = handle.stats();
+    assert_eq!(after.cache_misses - baseline.cache_misses, 1);
+    assert_eq!(after.cache_hits - baseline.cache_hits, 1);
+    handle.shutdown();
+}
+
+/// With the cache disabled (capacity 0) every request executes; replies stay
+/// correct and counters record only misses.
+#[test]
+fn zero_capacity_cache_still_serves_correctly() {
+    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21));
+    let config = ServerConfig {
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    };
+    let handle = Server::serve(Arc::clone(&snapshot), "127.0.0.1:0", config).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+
+    let spec = QuerySpec::backward().rids([0]);
+    let expected = snapshot.execute("by_z", &spec).expect("reference");
+    for _ in 0..3 {
+        let got = client
+            .query("by_z", spec.clone())
+            .expect("exchange")
+            .into_result();
+        assert_eq!(got.rids, expected.rids);
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.cache_misses, 3);
+    handle.shutdown();
+}

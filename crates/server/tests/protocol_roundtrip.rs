@@ -1,0 +1,164 @@
+//! End-to-end protocol round trips: every query shape travels the wire and
+//! comes back identical to the sequential reference path
+//! ([`Snapshot::execute`]).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use smoke_core::{AggExpr, Expr};
+use smoke_planner::wire::QuerySpec;
+use smoke_planner::Strategy;
+use smoke_server::{demo_snapshot, Client, ErrorCode, Reply, Server, ServerConfig, Snapshot};
+
+fn start(snapshot: Arc<Snapshot>) -> smoke_server::ServerHandle {
+    Server::serve(snapshot, "127.0.0.1:0", ServerConfig::default()).expect("bind ephemeral port")
+}
+
+/// Every wire query shape — plain traces, predicates, compose chains,
+/// filters, aggregates, forced strategies — answers rid-for-rid identically
+/// to the sequential planner.
+#[test]
+fn all_query_shapes_round_trip() {
+    let snapshot = Arc::new(demo_snapshot(3_000, 40, 21));
+    let shapes: Vec<QuerySpec> = vec![
+        QuerySpec::backward().rids([0]),
+        QuerySpec::backward().rids([5, 1, 5, 2]),
+        QuerySpec::backward().matching(Expr::col("cnt").gt(Expr::lit(20))),
+        QuerySpec::forward().rids([0, 17, 999]),
+        QuerySpec::multi_view().rids([1]).then_through("by_bin"),
+        QuerySpec::multi_view()
+            .rids([0, 2])
+            .then_through("by_bin")
+            .then_through("by_z"),
+        QuerySpec::backward()
+            .rids([1])
+            .filter(Expr::col("v_bin").eq(Expr::lit(3))),
+        QuerySpec::backward().rids([2]).aggregate(
+            &["v_bin"],
+            vec![AggExpr::count("cnt"), AggExpr::sum("v", "total")],
+        ),
+        QuerySpec::backward().rids([0]).force(Strategy::EagerTrace),
+        QuerySpec::backward().rids([0]).force(Strategy::LazyRewrite),
+        QuerySpec::backward()
+            .rids([1])
+            .filter(Expr::col("v_bin").eq(Expr::lit(2)))
+            .aggregate(&["v_bin"], vec![AggExpr::count("cnt")])
+            .force(Strategy::PartitionPruned),
+        QuerySpec::backward()
+            .rids([3])
+            .aggregate(
+                &["v_bin"],
+                vec![AggExpr::count("cnt"), AggExpr::sum("v", "total")],
+            )
+            .force(Strategy::CubeHit),
+    ];
+
+    let handle = start(Arc::clone(&snapshot));
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+
+    for spec in shapes {
+        let expected = snapshot
+            .execute("by_z", &spec)
+            .unwrap_or_else(|e| panic!("reference path fails for {spec:?}: {e}"));
+        let got = client
+            .query("by_z", spec.clone())
+            .expect("exchange")
+            .into_result();
+        assert_eq!(got.strategy, expected.strategy, "strategy for {spec:?}");
+        assert_eq!(got.rids, expected.rids, "rids for {spec:?}");
+        assert_eq!(got.rows, expected.rows, "rows for {spec:?}");
+    }
+    handle.shutdown();
+}
+
+/// Explain and stats requests answer over the same connection as queries.
+#[test]
+fn explain_and_stats_share_the_session() {
+    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21));
+    let handle = start(snapshot);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+
+    match client
+        .explain("by_z", QuerySpec::backward().rids([0]))
+        .expect("exchange")
+    {
+        Reply::Explain(explain) => {
+            let strategy = explain
+                .get("strategy")
+                .and_then(|s| s.as_str().map(str::to_string));
+            assert!(
+                strategy.is_some(),
+                "explain carries a strategy: {explain:?}"
+            );
+            assert!(explain.get("candidates").is_some());
+        }
+        other => panic!("expected an explain, got {other:?}"),
+    }
+
+    let _ = client
+        .query("by_z", QuerySpec::backward().rids([0]))
+        .expect("exchange");
+    match client.stats().expect("exchange") {
+        Reply::Stats(stats) => {
+            let served = stats.get("served").and_then(|s| s.as_i64()).unwrap_or(0);
+            assert!(served >= 2, "stats sees earlier requests: {stats:?}");
+            let views = stats.get("views").and_then(|v| v.as_arr());
+            assert_eq!(views.map(<[_]>::len), Some(2));
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Typed errors: unknown views, infeasible forced strategies, and unknown
+/// chain entries come back as error replies, not hangs or disconnects.
+#[test]
+fn errors_are_typed_and_the_session_survives_them() {
+    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21));
+    let handle = start(snapshot);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+
+    match client
+        .query("nope", QuerySpec::backward().rids([0]))
+        .expect("exchange")
+    {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownView),
+        other => panic!("expected unknown_view, got {other:?}"),
+    }
+    match client
+        .query(
+            "by_z",
+            QuerySpec::multi_view().rids([0]).then_through("missing"),
+        )
+        .expect("exchange")
+    {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Exec),
+        other => panic!("expected exec error, got {other:?}"),
+    }
+    // A forced strategy the view cannot satisfy (no cube-matching aggregate).
+    match client
+        .query(
+            "by_bin",
+            QuerySpec::backward().rids([0]).force(Strategy::CubeHit),
+        )
+        .expect("exchange")
+    {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Exec),
+        other => panic!("expected exec error, got {other:?}"),
+    }
+    // The session is still usable after errors.
+    let ok = client
+        .query("by_z", QuerySpec::backward().rids([0]))
+        .expect("exchange");
+    assert!(matches!(ok, Reply::Result(_)));
+    handle.shutdown();
+}

@@ -18,7 +18,11 @@
 //!   `LineageQuery` API ([`smoke_planner`]);
 //! * [`datagen`] — synthetic workload generators ([`smoke_datagen`]);
 //! * [`apps`] — crossfilter and data-profiling applications built on lineage
-//!   ([`smoke_apps`]).
+//!   ([`smoke_apps`]);
+//! * [`server`] — the concurrent serving layer: `Arc`-shared immutable
+//!   snapshots behind a worker pool with admission control, a normalized-query
+//!   result cache, and a length-prefixed JSON wire protocol
+//!   ([`smoke_server`]).
 //!
 //! ```
 //! use smoke::prelude::*;
@@ -53,6 +57,7 @@ pub use smoke_core as core;
 pub use smoke_datagen as datagen;
 pub use smoke_lineage as lineage;
 pub use smoke_planner as planner;
+pub use smoke_server as server;
 pub use smoke_storage as storage;
 
 /// Commonly-used types, re-exported for convenience.
