@@ -13,6 +13,10 @@
 //! the exit code is 1, which CI attaches to a `continue-on-error` step so
 //! regressions annotate the run without blocking it. A missing or unreadable
 //! baseline exits 0 (first run of a new experiment).
+//!
+//! Exit codes: `0` — no regressions, or no usable baseline to compare
+//! against; `1` — at least one timing regression; `2` — usage error (bad
+//! flags/arity) or an unreadable/malformed *fresh* artifact.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -57,18 +61,20 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--threshold" => {
-                threshold = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threshold requires a number")
-            }
-            "--floor-ms" => {
-                floor_ms = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--floor-ms requires a number")
-            }
+            "--threshold" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threshold = v,
+                None => {
+                    eprintln!("--threshold requires a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--floor-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => floor_ms = v,
+                None => {
+                    eprintln!("--floor-ms requires a number");
+                    return ExitCode::from(2);
+                }
+            },
             other => positional.push(other.to_string()),
         }
     }

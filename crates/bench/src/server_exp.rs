@@ -33,7 +33,7 @@ pub fn server(scale: &Scale) -> Vec<ExpRow> {
     let rows_n = scale.size(50_000, 2_000);
     let groups = 100usize;
     let queries_per_client = scale.size(400, 50);
-    let snapshot = Arc::new(demo_snapshot(rows_n, groups, 21));
+    let snapshot = Arc::new(demo_snapshot(rows_n, groups, 21).expect("demo snapshot"));
     let n_groups = snapshot.view("by_z").expect("by_z").output().len();
     let config = format!("n={rows_n},g={groups},clients={CLIENTS},q={queries_per_client}");
 

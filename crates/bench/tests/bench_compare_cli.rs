@@ -1,0 +1,205 @@
+//! Edge-case contract tests for the `bench_compare` CLI, pinned to its
+//! documented exit codes:
+//!
+//! - `0` — clean comparison, or no usable baseline (absent / malformed /
+//!   missing keys): the first run of a new experiment must not fail CI.
+//! - `1` — at least one timing regression.
+//! - `2` — usage errors and an unreadable *fresh* artifact (the run just
+//!   produced it; it being broken is a harness bug worth failing loudly).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bench_compare() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+}
+
+/// A scratch dir unique to this test process; files are keyed by test name.
+fn scratch(test: &str, file: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench_compare_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join(format!("{test}_{file}"));
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+fn row(metric: &str, value: f64) -> String {
+    format!(
+        r#"{{"experiment":"exp","config":"cfg","technique":"tech","metric":"{metric}","value":{value}}}"#
+    )
+}
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = bench_compare()
+        .args(args)
+        .output()
+        .expect("spawn bench_compare");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn clean_comparison_exits_zero() {
+    let base = scratch("clean", "base.json", &format!("[{}]", row("run_ms", 10.0)));
+    let fresh = scratch("clean", "fresh.json", &format!("[{}]", row("run_ms", 11.0)));
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("0 regression(s)"), "{stdout}");
+}
+
+#[test]
+fn regression_beyond_threshold_exits_one_with_annotation() {
+    let base = scratch(
+        "regress",
+        "base.json",
+        &format!("[{}]", row("run_ms", 10.0)),
+    );
+    let fresh = scratch(
+        "regress",
+        "fresh.json",
+        &format!("[{}]", row("run_ms", 30.0)),
+    );
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("::warning"), "{stdout}");
+    assert!(stdout.contains("1 regression(s)"), "{stdout}");
+}
+
+#[test]
+fn absent_baseline_exits_zero() {
+    let fresh = scratch("absent", "fresh.json", &format!("[{}]", row("run_ms", 1.0)));
+    let (code, stdout, _) = run(&["/nonexistent/baseline.json", fresh.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("no usable baseline"), "{stdout}");
+}
+
+#[test]
+fn malformed_baseline_exits_zero() {
+    let base = scratch("badbase", "base.json", "{not json[");
+    let fresh = scratch(
+        "badbase",
+        "fresh.json",
+        &format!("[{}]", row("run_ms", 1.0)),
+    );
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("no usable baseline"), "{stdout}");
+}
+
+#[test]
+fn baseline_row_missing_metric_key_exits_zero() {
+    let base = scratch(
+        "nokeybase",
+        "base.json",
+        r#"[{"experiment":"exp","config":"cfg","technique":"tech","value":1.0}]"#,
+    );
+    let fresh = scratch(
+        "nokeybase",
+        "fresh.json",
+        &format!("[{}]", row("run_ms", 1.0)),
+    );
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("missing `metric`"), "{stdout}");
+}
+
+#[test]
+fn malformed_fresh_artifact_exits_two() {
+    let base = scratch(
+        "badfresh",
+        "base.json",
+        &format!("[{}]", row("run_ms", 1.0)),
+    );
+    let fresh = scratch("badfresh", "fresh.json", "]]]]");
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 2, "{stdout}");
+    assert!(
+        stdout.contains("could not read the fresh artifact"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn fresh_row_missing_metric_key_exits_two() {
+    let base = scratch(
+        "nokeyfresh",
+        "base.json",
+        &format!("[{}]", row("run_ms", 1.0)),
+    );
+    let fresh = scratch(
+        "nokeyfresh",
+        "fresh.json",
+        r#"[{"experiment":"exp","config":"cfg","technique":"tech","value":1.0}]"#,
+    );
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 2, "{stdout}");
+    assert!(stdout.contains("missing `metric`"), "{stdout}");
+}
+
+#[test]
+fn zero_baseline_is_noise_not_a_regression() {
+    // base == 0 would make any ratio infinite; it is timer noise and skipped.
+    let base = scratch(
+        "zerobase",
+        "base.json",
+        &format!("[{}]", row("run_ms", 0.0)),
+    );
+    let fresh = scratch(
+        "zerobase",
+        "fresh.json",
+        &format!("[{}]", row("run_ms", 100.0)),
+    );
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("0 regression(s)"), "{stdout}");
+}
+
+#[test]
+fn non_timing_metrics_are_not_compared() {
+    let base = scratch(
+        "counter",
+        "base.json",
+        &format!("[{}]", row("fanout", 10.0)),
+    );
+    let fresh = scratch(
+        "counter",
+        "fresh.json",
+        &format!("[{}]", row("fanout", 9999.0)),
+    );
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("compared 0 timing rows"), "{stdout}");
+}
+
+#[test]
+fn missing_args_exit_two_with_usage() {
+    let (code, _, stderr) = run(&[]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn non_numeric_threshold_exits_two() {
+    let (code, _, stderr) = run(&["a.json", "b.json", "--threshold", "fast"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("--threshold requires a number"), "{stderr}");
+}
+
+#[test]
+fn threshold_flag_is_honored() {
+    // 1.5x over baseline: a regression at --threshold 1.2, clean at default 2.0.
+    let base = scratch("knob", "base.json", &format!("[{}]", row("run_ms", 10.0)));
+    let fresh = scratch("knob", "fresh.json", &format!("[{}]", row("run_ms", 15.0)));
+    let (strict, _, _) = run(&[
+        base.to_str().unwrap(),
+        fresh.to_str().unwrap(),
+        "--threshold",
+        "1.2",
+    ]);
+    let (lax, _, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(strict, 1);
+    assert_eq!(lax, 0);
+}

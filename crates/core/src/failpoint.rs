@@ -1,0 +1,86 @@
+//! One-shot fail points for fault-injection tests.
+//!
+//! The serving layer promises that a panicking query is *contained*: the
+//! worker answers a typed `exec` error and keeps serving. Proving that needs
+//! a panic on demand — but the engine's own request path is (by lint rule
+//! `no-panic-on-request-path`, and by design) panic-free, so there is
+//! nothing natural to trip. A fail point is the escape hatch: tests [`arm`]
+//! a named point, and the *next* [`hit`] of that name panics — exactly once.
+//!
+//! The fast path is a single relaxed atomic load, so production code can
+//! leave `hit` calls in place: an unarmed fail point costs one branch.
+//! Points are process-global; tests that arm one should run in their own
+//! integration-test binary (own process) to avoid cross-talk.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+static ARMED: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+fn armed() -> std::sync::MutexGuard<'static, Vec<String>> {
+    // Poisoning is impossible in practice (the guarded ops don't panic) but
+    // recovering keeps the fail-point layer itself panic-free when unarmed.
+    ARMED.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms the named fail point: the next [`hit`] with this name panics, once.
+pub fn arm(name: &str) {
+    let mut list = armed();
+    if !list.iter().any(|n| n == name) {
+        list.push(name.to_string());
+    }
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms every fail point (test cleanup).
+pub fn clear() {
+    let mut list = armed();
+    list.clear();
+    ANY_ARMED.store(false, Ordering::Release);
+}
+
+/// Trips the named fail point if armed, consuming it. Unarmed points cost a
+/// single atomic load.
+pub fn hit(name: &str) {
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        return;
+    }
+    let fire = {
+        let mut list = armed();
+        match list.iter().position(|n| n == name) {
+            Some(at) => {
+                list.remove(at);
+                if list.is_empty() {
+                    ANY_ARMED.store(false, Ordering::Release);
+                }
+                true
+            }
+            None => false,
+        }
+    };
+    if fire {
+        panic!("failpoint `{name}` tripped");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_point_fires_exactly_once_and_unarmed_is_free() {
+        // Serialized against other tests by being the module's only test.
+        hit("fp::unarmed");
+        arm("fp::test");
+        let first = std::panic::catch_unwind(|| hit("fp::test"));
+        assert!(first.is_err(), "armed fail point must panic");
+        let second = std::panic::catch_unwind(|| hit("fp::test"));
+        assert!(second.is_ok(), "fail points are one-shot");
+        arm("fp::a");
+        arm("fp::b");
+        clear();
+        hit("fp::a");
+        hit("fp::b");
+    }
+}

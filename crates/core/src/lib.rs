@@ -51,6 +51,7 @@ pub mod baselines;
 mod error;
 pub mod exec;
 pub mod expr;
+pub mod failpoint;
 pub mod instrument;
 pub mod kernels;
 pub mod key;

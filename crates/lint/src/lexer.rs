@@ -1,0 +1,515 @@
+//! A hand-rolled Rust lexer producing a flat token stream with spans.
+//!
+//! The workspace vendors its few dependencies and deliberately excludes
+//! `syn`, so the lint layer lexes Rust source itself — the same idiom as the
+//! hand-rolled JSON layer in `smoke_planner::json`. The lexer is not a
+//! parser: it produces identifiers, literals, comments, and punctuation with
+//! line/column spans, which is exactly the granularity the rule engine's
+//! token-pattern heuristics need. It understands everything that changes
+//! token boundaries — nested block comments, raw strings (`r#"..."#`), byte
+//! and char literals vs. lifetimes, numeric literals with suffixes — and
+//! nothing that does not (no precedence, no grammar).
+
+/// The coarse classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `unwrap`, ...).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// An integer literal (`0`, `0x1f`, `1_000u64`).
+    Int,
+    /// A float literal (`1.5`, `2f64`, `1e3`).
+    Float,
+    /// A string, raw-string, byte-string, char, or byte literal.
+    Str,
+    /// A `// ...` comment (text includes the slashes), doc comments included.
+    LineComment,
+    /// A `/* ... */` comment (nesting handled), doc comments included.
+    BlockComment,
+    /// A single punctuation character (`.`, `(`, `[`, `!`, ...). Multi-char
+    /// operators arrive as consecutive tokens; the rules never need them
+    /// joined.
+    Punct,
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+    /// Whether the token sits inside a `#[test]` / `#[cfg(test)]`-gated
+    /// item. Filled in by [`mark_test_regions`]; `false` straight out of
+    /// the lexer.
+    pub in_test: bool,
+}
+
+impl Token {
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this is a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn text_since(&self, start: usize) -> String {
+        self.chars[start..self.pos].iter().collect()
+    }
+
+    /// Consumes a `"..."` string body (the opening quote is already
+    /// consumed), honoring `\"` and `\\` escapes. Unterminated strings end
+    /// at EOF — the lexer is best-effort, not a validator.
+    fn eat_string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string `r"..."` / `r#"..."#` body starting at the
+    /// first `#` or `"` (the `r`/`br` prefix is already consumed).
+    fn eat_raw_string_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek() == Some('"') {
+            self.bump();
+        } else {
+            return; // not actually a raw string; treated as lexed-so-far
+        }
+        loop {
+            match self.bump() {
+                None => return,
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consumes a numeric literal (first digit already consumed); returns
+    /// whether it is a float. Handles `_` separators, hex/oct/bin prefixes,
+    /// type suffixes, `1.5`, `1e-3`, and stops before `..` ranges and
+    /// method calls like `1.max(2)`.
+    fn eat_number(&mut self) -> bool {
+        // `0x`/`0o`/`0b` literals are always integers; their digits may
+        // include `e` and `f`, which would otherwise look like exponent and
+        // float-suffix markers.
+        let radix_prefix = self.chars.get(self.pos.wrapping_sub(1)) == Some(&'0')
+            && matches!(self.peek(), Some('x' | 'o' | 'b'));
+        let mut is_float = false;
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                    if (c == 'e' || c == 'E') && !radix_prefix {
+                        // Lookahead for an exponent sign so `1e-3` stays one
+                        // token.
+                        self.bump();
+                        if matches!(self.peek(), Some('+') | Some('-'))
+                            && self.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                        {
+                            is_float = true;
+                            self.bump();
+                        }
+                        continue;
+                    }
+                    if c == 'f' && !radix_prefix {
+                        // `2f64` style suffix marks a float.
+                        is_float = true;
+                    }
+                    self.bump();
+                }
+                // `0..len` is a range, `1.max()` a method call; only a
+                // digit after the dot continues the literal.
+                Some('.') if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) => {
+                    is_float = true;
+                    self.bump();
+                }
+                _ => return is_float,
+            }
+        }
+    }
+}
+
+/// Lexes Rust source into a token stream. Never fails: malformed input
+/// degrades to punctuation tokens, which at worst makes a heuristic rule
+/// miss — it never aborts the lint run.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer::new(src);
+    // Pre-size on a rough tokens-per-byte estimate to avoid realloc churn.
+    let mut out = Vec::with_capacity(lx.src.len() / 6);
+    while let Some(c) = lx.peek() {
+        let (line, col, start) = (lx.line, lx.col, lx.pos);
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let kind = if c == '/' && lx.peek_at(1) == Some('/') {
+            while let Some(n) = lx.peek() {
+                if n == '\n' {
+                    break;
+                }
+                lx.bump();
+            }
+            TokenKind::LineComment
+        } else if c == '/' && lx.peek_at(1) == Some('*') {
+            lx.bump();
+            lx.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match lx.bump() {
+                    None => break,
+                    Some('/') if lx.peek() == Some('*') => {
+                        lx.bump();
+                        depth += 1;
+                    }
+                    Some('*') if lx.peek() == Some('/') => {
+                        lx.bump();
+                        depth -= 1;
+                    }
+                    Some(_) => {}
+                }
+            }
+            TokenKind::BlockComment
+        } else if is_ident_start(c) {
+            while lx.peek().is_some_and(is_ident_continue) {
+                lx.bump();
+            }
+            let ident = lx.text_since(start);
+            // Raw-string / byte-string / byte-char prefixes.
+            match (ident.as_str(), lx.peek()) {
+                ("r" | "br" | "rb", Some('"' | '#')) => {
+                    lx.eat_raw_string_body();
+                    TokenKind::Str
+                }
+                ("b", Some('"')) => {
+                    lx.bump();
+                    lx.eat_string_body();
+                    TokenKind::Str
+                }
+                ("b", Some('\'')) => {
+                    lx.bump();
+                    if lx.peek() == Some('\\') {
+                        lx.bump();
+                    }
+                    lx.bump();
+                    if lx.peek() == Some('\'') {
+                        lx.bump();
+                    }
+                    TokenKind::Str
+                }
+                _ => TokenKind::Ident,
+            }
+        } else if c.is_ascii_digit() {
+            lx.bump();
+            if lx.eat_number() {
+                TokenKind::Float
+            } else {
+                TokenKind::Int
+            }
+        } else if c == '"' {
+            lx.bump();
+            lx.eat_string_body();
+            TokenKind::Str
+        } else if c == '\'' {
+            lx.bump();
+            match lx.peek() {
+                // `'\n'`-style escapes are always char literals.
+                Some('\\') => {
+                    lx.bump();
+                    lx.bump();
+                    // Unicode escapes span to the closing brace.
+                    while lx.peek().is_some_and(|n| n != '\'') {
+                        lx.bump();
+                    }
+                    lx.bump();
+                    TokenKind::Str
+                }
+                Some(n) if is_ident_start(n) => {
+                    while lx.peek().is_some_and(is_ident_continue) {
+                        lx.bump();
+                    }
+                    if lx.peek() == Some('\'') {
+                        lx.bump();
+                        TokenKind::Str
+                    } else {
+                        TokenKind::Lifetime
+                    }
+                }
+                // `'<'`-style single punctuation char literal.
+                Some(_) => {
+                    lx.bump();
+                    if lx.peek() == Some('\'') {
+                        lx.bump();
+                    }
+                    TokenKind::Str
+                }
+                None => TokenKind::Punct,
+            }
+        } else {
+            lx.bump();
+            TokenKind::Punct
+        };
+        out.push(Token {
+            kind,
+            text: lx.text_since(start),
+            line,
+            col,
+            in_test: false,
+        });
+    }
+    out
+}
+
+/// Marks every token inside a `#[test]` / `#[cfg(test)]`-gated item with
+/// `in_test = true`, so request-path rules skip test code.
+///
+/// Heuristic (sufficient for this workspace's style): an attribute whose
+/// token set contains the identifier `test` gates the *item* that follows.
+/// The item's extent is the next top-relative `{ ... }` block — or, for
+/// brace-less items like `#[cfg(test)] use ...;`, the next `;`.
+pub fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && !tokens[i].in_test
+        {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut has_test = false;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                } else if tokens[j].is_ident("test") {
+                    has_test = true;
+                }
+                j += 1;
+            }
+            if has_test {
+                // Walk forward to the gated item's body: first `{` before a
+                // top-level `;` ends the item at its matching `}`.
+                let mut k = j;
+                let mut body_start = None;
+                while k < tokens.len() {
+                    if tokens[k].is_punct('{') {
+                        body_start = Some(k);
+                        break;
+                    }
+                    if tokens[k].is_punct(';') {
+                        break;
+                    }
+                    k += 1;
+                }
+                let end = match body_start {
+                    Some(open) => {
+                        let mut depth = 1usize;
+                        let mut m = open + 1;
+                        while m < tokens.len() && depth > 0 {
+                            if tokens[m].is_punct('{') {
+                                depth += 1;
+                            } else if tokens[m].is_punct('}') {
+                                depth -= 1;
+                            }
+                            m += 1;
+                        }
+                        m
+                    }
+                    None => (k + 1).min(tokens.len()),
+                };
+                for t in &mut tokens[i..end] {
+                    t.in_test = true;
+                }
+                i = end;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lexes_idents_numbers_and_punct() {
+        let toks = kinds("fn add(a: i64) -> i64 { a + 1_000 }");
+        assert!(toks.contains(&(TokenKind::Ident, "fn".into())));
+        assert!(toks.contains(&(TokenKind::Int, "1_000".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "{".into())));
+    }
+
+    #[test]
+    fn distinguishes_ranges_floats_and_method_calls() {
+        let toks = kinds("0..len 1.5 2f64 1e-3 1.max(2) 0x1f");
+        assert!(toks.contains(&(TokenKind::Int, "0".into())));
+        assert!(toks.contains(&(TokenKind::Float, "1.5".into())));
+        assert!(toks.contains(&(TokenKind::Float, "2f64".into())));
+        assert!(toks.contains(&(TokenKind::Float, "1e-3".into())));
+        assert!(toks.contains(&(TokenKind::Int, "1".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "max".into())));
+        assert!(toks.contains(&(TokenKind::Int, "0x1f".into())));
+    }
+
+    #[test]
+    fn strings_comments_and_lifetimes() {
+        let toks = kinds(
+            "let s = \"a \\\" ] b\"; // trailing [\n/* block /* nested */ */ r#\"raw \" here\"# 'a 'x' b'\\n'",
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("] b")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("trailing")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t.contains("nested")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("raw")));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokenKind::Str, "'x'".into())));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.starts_with("b'")));
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_cols() {
+        let toks = lex("a\n  bb\n");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[1].text, "bb");
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let mut toks = lex(src);
+        mark_test_regions(&mut toks);
+        let unwraps: Vec<bool> = toks
+            .iter()
+            .filter(|t| t.is_ident("unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        assert!(
+            !toks.last().unwrap().in_test,
+            "code after the test mod is live"
+        );
+    }
+
+    #[test]
+    fn test_fn_attribute_gates_only_that_fn() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\nfn live() { b.unwrap(); }\n";
+        let mut toks = lex(src);
+        mark_test_regions(&mut toks);
+        let unwraps: Vec<bool> = toks
+            .iter()
+            .filter(|t| t.is_ident("unwrap"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn cfg_test_use_item_without_braces() {
+        let src = "#[cfg(test)]\nuse std::io;\nfn live() { c.unwrap(); }\n";
+        let mut toks = lex(src);
+        mark_test_regions(&mut toks);
+        assert!(toks
+            .iter()
+            .filter(|t| t.is_ident("unwrap"))
+            .all(|t| !t.in_test));
+    }
+}

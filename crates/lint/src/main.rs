@@ -1,0 +1,111 @@
+//! The `smoke-lint` CLI.
+//!
+//! ```text
+//! smoke-lint --workspace          # lint every crates/*/src file (CI gate)
+//! smoke-lint <file> [<file>...]   # lint specific files
+//! smoke-lint --list-rules         # print the rule IDs and exit
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::env;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use smoke_lint::{check_source, find_workspace_root, rules, run_workspace, CheckResult};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: smoke-lint --workspace | --list-rules | <file.rs>...");
+    ExitCode::from(2)
+}
+
+fn report(result: &CheckResult) -> ExitCode {
+    for v in &result.violations {
+        println!("{v}");
+    }
+    if result.suppressed > 0 {
+        eprintln!(
+            "smoke-lint: {} violation(s) suppressed by lint:allow pragmas",
+            result.suppressed
+        );
+    }
+    if result.violations.is_empty() {
+        eprintln!("smoke-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("smoke-lint: {} violation(s)", result.violations.len());
+        ExitCode::from(1)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    match args[0].as_str() {
+        "--list-rules" => {
+            for rule in rules::RULE_IDS {
+                println!("{rule}");
+            }
+            ExitCode::SUCCESS
+        }
+        "--workspace" => {
+            let cwd = match env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("smoke-lint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let Some(root) = find_workspace_root(&cwd) else {
+                eprintln!(
+                    "smoke-lint: no workspace root (Cargo.toml with [workspace]) above {}",
+                    cwd.display()
+                );
+                return ExitCode::from(2);
+            };
+            match run_workspace(&root) {
+                Ok(result) => report(&result),
+                Err(e) => {
+                    eprintln!("smoke-lint: workspace walk failed: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => {
+            let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            let root = find_workspace_root(&cwd);
+            let mut merged = CheckResult::default();
+            for arg in &args {
+                if arg.starts_with("--") {
+                    return usage();
+                }
+                let path = Path::new(arg);
+                let src = match std::fs::read_to_string(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("smoke-lint: cannot read {arg}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                // Rule scoping keys off the workspace-relative path.
+                let canonical = path.canonicalize().unwrap_or_else(|_| path.to_path_buf());
+                let rel = root
+                    .as_deref()
+                    .and_then(|r| canonical.strip_prefix(r).ok())
+                    .map(|p| {
+                        p.components()
+                            .map(|c| c.as_os_str().to_string_lossy())
+                            .collect::<Vec<_>>()
+                            .join("/")
+                    })
+                    .unwrap_or_else(|| arg.clone());
+                let one = check_source(&rel, &src);
+                merged.suppressed += one.suppressed;
+                merged.violations.extend(one.violations);
+            }
+            report(&merged)
+        }
+    }
+}

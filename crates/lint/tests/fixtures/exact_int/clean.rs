@@ -1,0 +1,9 @@
+// Fixture: integers render exactly; float conversion lives only in the
+// explicit float codec (`as_f64` is on the allowlist).
+pub fn render_count(n: u64) -> String {
+    format!("{n}")
+}
+
+pub fn as_f64(n: u64) -> f64 {
+    n as f64
+}

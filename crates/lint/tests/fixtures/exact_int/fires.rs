@@ -1,0 +1,6 @@
+// Fixture: a float cast in the JSON layer outside the float codec — counts
+// above 2^53 would render rounded.
+pub fn render_count(n: u64) -> String {
+    let approx = n as f64;
+    format!("{approx}")
+}

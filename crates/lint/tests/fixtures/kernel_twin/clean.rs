@@ -1,0 +1,8 @@
+// Fixture: the whole-column kernel is a pure `0..len` delegation.
+pub fn sum_range(col: &[i64], lo: usize, hi: usize) -> i64 {
+    col[lo..hi].iter().sum()
+}
+
+pub fn sum(col: &[i64]) -> i64 {
+    sum_range(col, 0, col.len())
+}

@@ -1,0 +1,13 @@
+// Fixture: a whole-column kernel that forks its `_range` twin's logic
+// instead of delegating — the two can now drift apart.
+pub fn sum_range(col: &[i64], lo: usize, hi: usize) -> i64 {
+    col[lo..hi].iter().sum()
+}
+
+pub fn sum(col: &[i64]) -> i64 {
+    let mut acc = 0;
+    for v in col {
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,21 @@
+// Fixture: the guard is scoped to a block, so the write happens lock-free.
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub fn respond(stats: &Mutex<u64>, stream: &mut TcpStream) -> std::io::Result<()> {
+    {
+        let mut served = stats.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *served += 1;
+    }
+    stream.write_all(b"ok")?;
+    Ok(())
+}
+
+pub fn respond_with_drop(stats: &Mutex<u64>, stream: &mut TcpStream) -> std::io::Result<()> {
+    let mut served = stats.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *served += 1;
+    drop(served);
+    stream.write_all(b"ok")?;
+    Ok(())
+}

@@ -1,0 +1,11 @@
+// Fixture: a stats-mutex guard held across a blocking socket write.
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub fn respond(stats: &Mutex<u64>, stream: &mut TcpStream) -> std::io::Result<()> {
+    let mut served = stats.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *served += 1;
+    stream.write_all(b"ok")?;
+    Ok(())
+}

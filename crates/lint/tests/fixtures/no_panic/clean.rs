@@ -1,0 +1,16 @@
+// Fixture: the same decode written with typed fallibility; test code may
+// still unwrap freely.
+pub fn decode(frame: &[u8]) -> Option<(u8, u8)> {
+    match frame {
+        [tag, .., len] if *tag <= 7 => Some((*tag, *len)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(super::decode(&[1, 2]).unwrap(), (1, 2));
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: request-path code that panics on malformed input.
+pub fn decode(frame: &[u8]) -> (u8, u8) {
+    let tag = frame[0];
+    if tag > 7 {
+        panic!("bad tag");
+    }
+    let len = frame.last().copied().unwrap();
+    (tag, len)
+}

@@ -1,0 +1,6 @@
+// Fixture: the same unsafe block, justified.
+pub fn first(v: &[u32]) -> u32 {
+    // SAFETY: every caller checks `v` is non-empty; reading index 0 of a
+    // live, aligned slice is defined.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,4 @@
+// Fixture: an unsafe block with no justification.
+pub fn first(v: &[u32]) -> u32 {
+    unsafe { *v.as_ptr() }
+}

@@ -199,7 +199,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), EngineError> {
+    fn eat(&mut self, b: u8) -> Result<(), EngineError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -231,7 +231,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, EngineError> {
-        self.expect(b'{')?;
+        self.eat(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -242,7 +242,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.eat(b':')?;
             self.skip_ws();
             let value = self.value()?;
             pairs.push((key, value));
@@ -259,7 +259,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, EngineError> {
-        self.expect(b'[')?;
+        self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -282,7 +282,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, EngineError> {
-        self.expect(b'"')?;
+        self.eat(b'"')?;
         let mut out = String::new();
         loop {
             let Some(b) = self.peek() else {
@@ -354,7 +354,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-ascii number"))?;
         if integral {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Json::Int(i));

@@ -268,10 +268,11 @@ impl QuerySpec {
                     })
                     .collect::<Result<_>>()?,
             ),
-            Some(obj) if obj.get("pred").is_some() => {
-                SelectionSpec::Predicate(expr_from_json(obj.get("pred").expect("checked"))?)
-            }
-            _ => return Err(bad("query is missing a valid `sel`")),
+            Some(obj) => match obj.get("pred") {
+                Some(pred) => SelectionSpec::Predicate(expr_from_json(pred)?),
+                None => return Err(bad("query is missing a valid `sel`")),
+            },
+            None => return Err(bad("query is missing a valid `sel`")),
         };
         let chain = match v.get("chain") {
             None | Some(Json::Null) => Vec::new(),
@@ -556,11 +557,11 @@ pub fn expr_from_json(v: &Json) -> Result<Expr> {
         ("or", Expr::Or as fn(Box<Expr>, Box<Expr>) -> Expr),
     ] {
         if let Some(Json::Arr(items)) = v.get(key) {
-            if items.len() != 2 {
+            let [l, r] = items.as_slice() else {
                 return Err(bad("boolean connectives take exactly two operands"));
-            }
-            let l = Box::new(expr_from_json(&items[0])?);
-            let r = Box::new(expr_from_json(&items[1])?);
+            };
+            let l = Box::new(expr_from_json(l)?);
+            let r = Box::new(expr_from_json(r)?);
             return Ok(build(l, r));
         }
     }
@@ -726,16 +727,14 @@ pub fn relation_from_json(v: &Json) -> Result<Relation> {
         .ok_or_else(|| bad("relations need a `schema` array"))?;
     let mut builder = Relation::builder(name);
     for field in schema {
-        let pair = field
-            .as_arr()
-            .filter(|p| p.len() == 2)
-            .ok_or_else(|| bad("schema entries are [name, type] pairs"))?;
-        let col = pair[0]
+        let [col, ty] = field.as_arr().unwrap_or_default() else {
+            return Err(bad("schema entries are [name, type] pairs"));
+        };
+        let col = col
             .as_str()
             .ok_or_else(|| bad("schema column names must be strings"))?;
         let ty = datatype_from_name(
-            pair[1]
-                .as_str()
+            ty.as_str()
                 .ok_or_else(|| bad("schema types must be names"))?,
         )?;
         builder = builder.column(col, ty);

@@ -45,7 +45,13 @@ fn main() {
     }
 
     eprintln!("building demo snapshot: rows={rows} groups={groups} seed={seed} ...");
-    let snapshot = Arc::new(demo_snapshot(rows, groups, seed));
+    let snapshot = match demo_snapshot(rows, groups, seed) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("failed to build the demo snapshot: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
         "snapshot ready: views={:?}, ~{} KiB",
         snapshot.view_names(),

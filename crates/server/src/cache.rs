@@ -68,7 +68,14 @@ impl QueryCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut inner = self.inner.lock().expect("cache lock");
+        // A poisoned lock means a worker panicked while touching the map;
+        // every mutation below leaves the map structurally sound at each
+        // step, so recovering the guard is safe — and a degraded cache must
+        // never take the serving path down with it.
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
@@ -90,7 +97,10 @@ impl QueryCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(entry) = inner.map.get_mut(key) {
@@ -120,7 +130,12 @@ impl QueryCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.inner.lock().expect("cache lock").map.len(),
+            entries: self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .map
+                .len(),
         }
     }
 }

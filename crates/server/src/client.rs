@@ -37,11 +37,11 @@ pub enum Reply {
 }
 
 impl Reply {
-    /// Unwraps a successful query reply; panics otherwise (test helper).
-    pub fn into_result(self) -> LineageResult {
+    /// Extracts a successful query reply, or describes what arrived instead.
+    pub fn into_result(self) -> Result<LineageResult, String> {
         match self {
-            Reply::Result(r) => r,
-            other => panic!("expected a query result, got {other:?}"),
+            Reply::Result(r) => Ok(r),
+            other => Err(format!("expected a query result, got {other:?}")),
         }
     }
 

@@ -32,6 +32,7 @@
 //! retry on.
 
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 use smoke_core::{EngineError, Result};
 use smoke_planner::json::{parse, Json};
@@ -40,6 +41,12 @@ use smoke_planner::wire::QuerySpec;
 /// Upper bound on a single frame's payload (16 MiB). A peer announcing more
 /// is malformed (or hostile) and its connection is dropped.
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// How long a frame may stay partially read before the peer is declared
+/// stalled and the connection dropped. Generous for real clients and TCP
+/// fragmentation; small enough that a slow-loris peer cannot pin a session
+/// thread forever.
+const FRAME_STALL_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Writes one length-prefixed frame.
 pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
@@ -56,13 +63,22 @@ pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
 }
 
 /// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF (peer
-/// closed between frames); timeouts and mid-frame EOFs surface as errors.
+/// closed between frames); mid-frame EOFs and stalls surface as errors.
+///
+/// A `WouldBlock`/`TimedOut` from the *first* byte propagates untouched —
+/// that is the idle tick poll loops (the server session loop) key off. Once
+/// any byte of a frame has been consumed, short reads are retried until the
+/// frame completes or `FRAME_STALL_TIMEOUT` (5 s) elapses: surfacing a timeout
+/// mid-frame would make the caller retry from the frame boundary, lose the
+/// consumed bytes, and desync framing (a body byte like `{` then reads as a
+/// huge length prefix).
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
     let mut len_buf = [0u8; 4];
-    match r.read(&mut len_buf[..1])? {
-        0 => return Ok(None),
-        _ => r.read_exact(&mut len_buf[1..])?,
+    if r.read(&mut len_buf[..1])? == 0 {
+        return Ok(None);
     }
+    let deadline = Instant::now() + FRAME_STALL_TIMEOUT;
+    read_exact_within(r, &mut len_buf[1..], deadline)?;
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(
@@ -71,10 +87,44 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
         ));
     }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
+    read_exact_within(r, &mut body, deadline)?;
     String::from_utf8(body)
         .map(Some)
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// `read_exact`, but `WouldBlock`/`TimedOut` (a short poll-timeout on the
+/// underlying socket) retries until `deadline` instead of erroring — and the
+/// eventual stall error is `InvalidData`, not a timeout kind, so poll loops
+/// cannot mistake a half-read frame for an idle connection.
+fn read_exact_within(r: &mut impl Read, mut buf: &mut [u8], deadline: Instant) -> io::Result<()> {
+    while !buf.is_empty() {
+        match r.read(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => buf = &mut buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "peer stalled mid-frame",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// A parsed client request.

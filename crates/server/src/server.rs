@@ -26,7 +26,7 @@ use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -101,6 +101,12 @@ struct Job {
 
 /// A bounded MPMC job queue (mutex + condvar; `std::sync::mpsc` receivers
 /// cannot be shared across a worker pool without serializing it).
+///
+/// Lock poisoning is recovered everywhere: a panic between guard
+/// acquisition and release cannot leave `QueueInner` mid-mutation
+/// (`push_back`/`pop_front`/flag stores are each a single effect), and the
+/// queue outliving one panicked worker is exactly the availability story
+/// the containment layer promises.
 struct JobQueue {
     inner: Mutex<QueueInner>,
     ready: Condvar,
@@ -132,7 +138,7 @@ impl JobQueue {
 
     /// Admits a job unless the queue is full (shed) or closed (shutdown).
     fn try_push(&self, job: Job) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -148,7 +154,7 @@ impl JobQueue {
     /// Blocks for the next job; `None` once the queue is closed *and*
     /// drained — workers finish every admitted job before exiting.
     fn pop(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(job) = inner.jobs.pop_front() {
                 return Some(job);
@@ -156,17 +162,27 @@ impl JobQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue lock");
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.ready.notify_all();
     }
 
     fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock").jobs.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .len()
     }
 }
 
@@ -254,13 +270,14 @@ impl ServerHandle {
     pub fn shutdown(mut self) -> ServerStats {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // The accept thread notices the flag within one poll tick and
-        // returns the session handles it spawned.
-        let sessions = self
-            .accept
-            .take()
-            .expect("shutdown runs once")
-            .join()
-            .expect("accept thread");
+        // returns the session handles it spawned. `accept` is only `None`
+        // if shutdown already ran (it consumes `self`, so only via a
+        // re-entrant drop path); a panicked accept thread yields no session
+        // handles, and the queue close below still drains the workers.
+        let Some(accept) = self.accept.take() else {
+            return self.shared.stats();
+        };
+        let sessions = accept.join().unwrap_or_default();
         // Sessions exit at their next idle read timeout (or after answering
         // the request they are processing; workers are still running here).
         for session in sessions {
@@ -309,15 +326,13 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("smoke-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
 
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("smoke-accept".to_string())
-            .spawn(move || accept_loop(listener, &accept_shared))
-            .expect("spawn accept loop");
+            .spawn(move || accept_loop(listener, &accept_shared))?;
 
         Ok(ServerHandle {
             addr: local,
@@ -341,11 +356,15 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) -> Vec<JoinHandle<()
         match listener.accept() {
             Ok((stream, _)) => {
                 let shared = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
+                // A failed spawn (thread exhaustion) drops the stream: the
+                // client sees a closed connection and retries, and the
+                // accept loop keeps serving everyone else.
+                if let Ok(handle) = std::thread::Builder::new()
                     .name("smoke-session".to_string())
                     .spawn(move || session_loop(stream, &shared))
-                    .expect("spawn session");
-                sessions.push(handle);
+                {
+                    sessions.push(handle);
+                }
                 // Reap finished sessions so long-running servers do not
                 // accumulate handles.
                 sessions.retain(|h| !h.is_finished());
@@ -484,19 +503,43 @@ fn error_for(view: &str, shared: &Arc<Shared>, e: &smoke_core::EngineError) -> S
 
 /// Worker: pop admitted jobs, execute against the shared snapshot, fill the
 /// cache, answer the session. Exits when the queue is closed and drained.
+///
+/// Execution runs inside `catch_unwind`: a panicking plan (a planner bug, a
+/// corrupt index — or the `server::worker::execute` fail point in tests)
+/// answers its session with a typed `exec` error and the worker keeps
+/// serving. One poisoned query must never shrink the pool.
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         if job.sleep_ms > 0 {
             std::thread::sleep(Duration::from_millis(job.sleep_ms));
         }
-        let response = match shared.snapshot.execute(&job.view, &job.spec) {
-            Ok(result) => {
+        // AssertUnwindSafe: on panic the closure's only shared touchables
+        // are the snapshot (immutable) and poison-recovering containers; no
+        // broken invariant can escape the unwind.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            smoke_core::failpoint::hit("server::worker::execute");
+            shared.snapshot.execute(&job.view, &job.spec)
+        }));
+        let response = match outcome {
+            Ok(Ok(result)) => {
                 let body = ok_response("result", result_to_json(&result));
                 shared.cache.insert(&job.cache_key, body.clone());
                 shared.served.fetch_add(1, Ordering::Relaxed);
                 body
             }
-            Err(e) => error_for(&job.view, shared, &e),
+            Ok(Err(e)) => error_for(&job.view, shared, &e),
+            Err(payload) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                error_response(
+                    ErrorCode::Exec,
+                    &format!("query execution panicked (contained): {msg}"),
+                )
+            }
         };
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
         // A session that vanished (client gone) makes this send fail; the

@@ -28,8 +28,10 @@ pub const BINS: usize = 8;
 
 /// Builds the two-view demo snapshot: `by_z` (zipf group-by with every
 /// workload-aware artifact) and `by_bin` (group-by on the partition column,
-/// the target of compose chains).
-pub fn demo_snapshot(rows: usize, groups: usize, seed: u64) -> Snapshot {
+/// the target of compose chains). Fails only if the capture pipeline
+/// rejects the generated tables — a bug, but one the embedding process
+/// (server binary, bench harness) gets to report instead of panicking over.
+pub fn demo_snapshot(rows: usize, groups: usize, seed: u64) -> smoke_core::Result<Snapshot> {
     let table = zipf_table_binned(
         &ZipfSpec {
             theta: 1.0,
@@ -46,8 +48,7 @@ pub fn demo_snapshot(rows: usize, groups: usize, seed: u64) -> Snapshot {
         partition_by: vec!["v_bin".to_string()],
         aggs: vec![AggExpr::count("cnt"), AggExpr::sum("v", "total")],
     });
-    let by_z = group_by(&table, &["z".to_string()], &[AggExpr::count("cnt")], &opts)
-        .expect("demo group-by on z");
+    let by_z = group_by(&table, &["z".to_string()], &[AggExpr::count("cnt")], &opts)?;
 
     let bin_opts = GroupByOptions::inject();
     let by_bin = group_by(
@@ -55,10 +56,9 @@ pub fn demo_snapshot(rows: usize, groups: usize, seed: u64) -> Snapshot {
         &["v_bin".to_string()],
         &[AggExpr::count("cnt")],
         &bin_opts,
-    )
-    .expect("demo group-by on v_bin");
+    )?;
 
-    Snapshot::new()
+    Ok(Snapshot::new()
         .with_view(
             "by_z",
             View::new(table.clone(), by_z.output.clone())
@@ -73,7 +73,7 @@ pub fn demo_snapshot(rows: usize, groups: usize, seed: u64) -> Snapshot {
                 .lineage(by_bin.lineage.input(0))
                 .rewrite(RewriteInfo::new(vec!["v_bin".to_string()], None))
                 .stats(by_bin.stats),
-        )
+        ))
 }
 
 /// A generated request: target view plus query.
@@ -152,7 +152,7 @@ mod tests {
 
     #[test]
     fn demo_snapshot_serves_every_mix_shape() {
-        let snapshot = demo_snapshot(2_000, 50, 7);
+        let snapshot = demo_snapshot(2_000, 50, 7).expect("demo snapshot");
         assert_eq!(snapshot.view_names(), vec!["by_bin", "by_z"]);
         let n_groups = snapshot.view("by_z").unwrap().output().len();
         let mut mix = QueryMix::new(n_groups, 2_000, 11);

@@ -13,7 +13,7 @@ use smoke_server::{demo_snapshot, Client, Server, ServerConfig};
 /// only hits; a genuinely different query misses again.
 #[test]
 fn equivalent_queries_share_a_cache_entry() {
-    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21));
+    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21).expect("demo snapshot"));
     let handle = Server::serve(snapshot, "127.0.0.1:0", ServerConfig::default()).expect("bind");
     let mut client = Client::connect(handle.addr()).expect("connect");
     client
@@ -35,12 +35,14 @@ fn equivalent_queries_share_a_cache_entry() {
     let first = client
         .query("by_z", spellings[0].clone())
         .expect("exchange")
-        .into_result();
+        .into_result()
+        .expect("query result");
     for spelling in &spellings[1..] {
         let reply = client
             .query("by_z", spelling.clone())
             .expect("exchange")
-            .into_result();
+            .into_result()
+            .expect("query result");
         // Byte-identical caching implies result-identical replies.
         assert_eq!(reply.rids, first.rids);
         assert_eq!(reply.strategy, first.strategy);
@@ -53,7 +55,8 @@ fn equivalent_queries_share_a_cache_entry() {
     client
         .query("by_z", QuerySpec::backward().rids([1, 2]))
         .expect("exchange")
-        .into_result();
+        .into_result()
+        .expect("query result");
     let distinct = handle.stats();
     assert_eq!(distinct.cache_misses - after.cache_misses, 1);
 
@@ -61,7 +64,8 @@ fn equivalent_queries_share_a_cache_entry() {
     client
         .query("by_bin", QuerySpec::backward().rids([1, 2, 3]))
         .expect("exchange")
-        .into_result();
+        .into_result()
+        .expect("query result");
     let other_view = handle.stats();
     assert_eq!(other_view.cache_misses - distinct.cache_misses, 1);
     handle.shutdown();
@@ -70,7 +74,7 @@ fn equivalent_queries_share_a_cache_entry() {
 /// Mirrored inequalities normalize to the same key (`5 < x` ≡ `x > 5`).
 #[test]
 fn mirrored_inequalities_hit() {
-    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21));
+    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21).expect("demo snapshot"));
     let handle = Server::serve(snapshot, "127.0.0.1:0", ServerConfig::default()).expect("bind");
     let mut client = Client::connect(handle.addr()).expect("connect");
     client
@@ -86,8 +90,16 @@ fn mirrored_inequalities_hit() {
     assert_eq!(a.cache_key(), b.cache_key());
 
     let baseline = handle.stats();
-    client.query("by_z", a).expect("exchange").into_result();
-    client.query("by_z", b).expect("exchange").into_result();
+    client
+        .query("by_z", a)
+        .expect("exchange")
+        .into_result()
+        .expect("query result");
+    client
+        .query("by_z", b)
+        .expect("exchange")
+        .into_result()
+        .expect("query result");
     let after = handle.stats();
     assert_eq!(after.cache_misses - baseline.cache_misses, 1);
     assert_eq!(after.cache_hits - baseline.cache_hits, 1);
@@ -98,7 +110,7 @@ fn mirrored_inequalities_hit() {
 /// correct and counters record only misses.
 #[test]
 fn zero_capacity_cache_still_serves_correctly() {
-    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21));
+    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21).expect("demo snapshot"));
     let config = ServerConfig {
         cache_capacity: 0,
         ..ServerConfig::default()
@@ -115,7 +127,8 @@ fn zero_capacity_cache_still_serves_correctly() {
         let got = client
             .query("by_z", spec.clone())
             .expect("exchange")
-            .into_result();
+            .into_result()
+            .expect("query result");
         assert_eq!(got.rids, expected.rids);
     }
     let stats = handle.stats();

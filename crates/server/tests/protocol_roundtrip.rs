@@ -19,7 +19,7 @@ fn start(snapshot: Arc<Snapshot>) -> smoke_server::ServerHandle {
 /// to the sequential planner.
 #[test]
 fn all_query_shapes_round_trip() {
-    let snapshot = Arc::new(demo_snapshot(3_000, 40, 21));
+    let snapshot = Arc::new(demo_snapshot(3_000, 40, 21).expect("demo snapshot"));
     let shapes: Vec<QuerySpec> = vec![
         QuerySpec::backward().rids([0]),
         QuerySpec::backward().rids([5, 1, 5, 2]),
@@ -66,7 +66,8 @@ fn all_query_shapes_round_trip() {
         let got = client
             .query("by_z", spec.clone())
             .expect("exchange")
-            .into_result();
+            .into_result()
+            .expect("query result");
         assert_eq!(got.strategy, expected.strategy, "strategy for {spec:?}");
         assert_eq!(got.rids, expected.rids, "rids for {spec:?}");
         assert_eq!(got.rows, expected.rows, "rows for {spec:?}");
@@ -77,7 +78,7 @@ fn all_query_shapes_round_trip() {
 /// Explain and stats requests answer over the same connection as queries.
 #[test]
 fn explain_and_stats_share_the_session() {
-    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21));
+    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21).expect("demo snapshot"));
     let handle = start(snapshot);
     let mut client = Client::connect(handle.addr()).expect("connect");
     client
@@ -120,7 +121,7 @@ fn explain_and_stats_share_the_session() {
 /// chain entries come back as error replies, not hangs or disconnects.
 #[test]
 fn errors_are_typed_and_the_session_survives_them() {
-    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21));
+    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21).expect("demo snapshot"));
     let handle = start(snapshot);
     let mut client = Client::connect(handle.addr()).expect("connect");
     client

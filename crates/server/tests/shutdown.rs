@@ -11,7 +11,7 @@ use smoke_server::{demo_snapshot, Client, Reply, Server, ServerConfig};
 /// its (correct) answer; shutdown waits for it instead of dropping it.
 #[test]
 fn shutdown_drains_in_flight_requests() {
-    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21));
+    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21).expect("demo snapshot"));
     let config = ServerConfig {
         workers: 2,
         ..ServerConfig::default()
@@ -55,7 +55,7 @@ fn shutdown_drains_in_flight_requests() {
 /// After shutdown completes the port stops accepting connections.
 #[test]
 fn shutdown_releases_the_port() {
-    let snapshot = Arc::new(demo_snapshot(500, 10, 21));
+    let snapshot = Arc::new(demo_snapshot(500, 10, 21).expect("demo snapshot"));
     let handle = Server::serve(snapshot, "127.0.0.1:0", ServerConfig::default()).expect("bind");
     let addr = handle.addr();
     handle.shutdown();

@@ -23,7 +23,7 @@ const QUERIES_PER_CLIENT: usize = 60;
 fn concurrent_responses_match_the_sequential_planner() {
     let rows = 4_000;
     let groups = 50;
-    let snapshot = Arc::new(demo_snapshot(rows, groups, 21));
+    let snapshot = Arc::new(demo_snapshot(rows, groups, 21).expect("demo snapshot"));
     let n_groups = snapshot.view("by_z").expect("view").output().len();
     let handle = Server::serve(
         Arc::clone(&snapshot),
@@ -95,7 +95,7 @@ fn concurrent_responses_match_the_sequential_planner() {
 /// admitted request must still be answered correctly.
 #[test]
 fn overload_sheds_instead_of_hanging() {
-    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21));
+    let snapshot = Arc::new(demo_snapshot(1_000, 20, 21).expect("demo snapshot"));
     let handle = Server::serve(
         Arc::clone(&snapshot),
         "127.0.0.1:0",
