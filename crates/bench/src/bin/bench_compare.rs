@@ -1,21 +1,25 @@
 //! Compares a freshly generated `BENCH_*.json` artifact against a committed
-//! baseline and flags latency regressions.
+//! baseline and flags latency and footprint regressions.
 //!
 //! ```text
-//! bench_compare <baseline.json> <fresh.json> [--threshold 2.0] [--floor-ms 0.05]
+//! bench_compare <baseline.json> <fresh.json> [--threshold 2.0] [--floor-ms 0.05] [--floor-bytes 4096]
 //! ```
 //!
-//! Rows are keyed on `(experiment, config, technique, metric)`; only timing
-//! metrics (`*_ms`) are compared — counters, ratios, and cost estimates are
-//! structural and checked for presence only. A fresh value more than
-//! `threshold ×` the baseline (with both above the noise floor) is a
-//! regression: it is printed as a GitHub Actions `::warning::` annotation and
-//! the exit code is 1, which CI attaches to a `continue-on-error` step so
-//! regressions annotate the run without blocking it. A missing or unreadable
-//! baseline exits 0 (first run of a new experiment).
+//! Rows are keyed on `(experiment, config, technique, metric)`; timing
+//! metrics (`*_ms`) and footprint metrics (`*_bytes`) are compared —
+//! counters, ratios, and cost estimates are structural and checked for
+//! presence only. A fresh value more than `threshold ×` the baseline (with
+//! both above the matching noise floor: `--floor-ms` for timings,
+//! `--floor-bytes` for footprints) is a regression: it is printed as a
+//! GitHub Actions `::warning::` annotation and the exit code is 1, which CI
+//! attaches to a `continue-on-error` step so regressions annotate the run
+//! without blocking it. Byte metrics are deterministic, so a blown-up
+//! `lineage_bytes` (say, compression silently falling back to raw blocks)
+//! trips the same wire as a slow kernel. A missing or unreadable baseline
+//! exits 0 (first run of a new experiment).
 //!
 //! Exit codes: `0` — no regressions, or no usable baseline to compare
-//! against; `1` — at least one timing regression; `2` — usage error (bad
+//! against; `1` — at least one regression; `2` — usage error (bad
 //! flags/arity) or an unreadable/malformed *fresh* artifact.
 
 use std::collections::BTreeMap;
@@ -58,6 +62,7 @@ fn main() -> ExitCode {
     let mut positional = Vec::new();
     let mut threshold = 2.0f64;
     let mut floor_ms = 0.05f64;
+    let mut floor_bytes = 4096.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,12 +80,20 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--floor-bytes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => floor_bytes = v,
+                None => {
+                    eprintln!("--floor-bytes requires a number");
+                    return ExitCode::from(2);
+                }
+            },
             other => positional.push(other.to_string()),
         }
     }
     let [baseline_path, fresh_path] = positional.as_slice() else {
         eprintln!(
-            "usage: bench_compare <baseline.json> <fresh.json> [--threshold X] [--floor-ms Y]"
+            "usage: bench_compare <baseline.json> <fresh.json> \
+             [--threshold X] [--floor-ms Y] [--floor-bytes Z]"
         );
         return ExitCode::from(2);
     };
@@ -106,9 +119,16 @@ fn main() -> ExitCode {
     let mut compared = 0usize;
     for (key, &base) in &baseline {
         let (exp, config, technique, metric) = key;
-        if !metric.ends_with("_ms") {
+        // Timings regress with noise floors in milliseconds; footprints
+        // (`lineage_bytes`, `raw_bytes`, …) with a floor in bytes. Anything
+        // else is structural.
+        let (floor, unit) = if metric.ends_with("_ms") {
+            (floor_ms, "ms")
+        } else if metric.ends_with("_bytes") {
+            (floor_bytes, "B")
+        } else {
             continue;
-        }
+        };
         let Some(&now) = fresh.get(key) else {
             // Scale/config drift renames keys; that is a baseline-refresh
             // signal, not a perf regression.
@@ -118,21 +138,22 @@ fn main() -> ExitCode {
             continue;
         };
         compared += 1;
-        // Both sides below the floor are timer noise regardless of ratio.
-        if now <= floor_ms || base <= 0.0 {
+        // Both sides below the floor are noise regardless of ratio.
+        if now <= floor || base <= 0.0 {
             continue;
         }
-        let ratio = now / base.max(floor_ms);
+        let ratio = now / base.max(floor);
         if ratio > threshold {
             regressions += 1;
             println!(
                 "::warning title=bench regression::{exp} {config} {technique} {metric}: \
-                 {now:.3}ms vs baseline {base:.3}ms ({ratio:.2}x > {threshold:.2}x)"
+                 {now:.3}{unit} vs baseline {base:.3}{unit} ({ratio:.2}x > {threshold:.2}x)"
             );
         }
     }
     println!(
-        "compared {compared} timing rows against {baseline_path}: {regressions} regression(s)"
+        "compared {compared} timing/footprint rows against {baseline_path}: \
+         {regressions} regression(s)"
     );
     if regressions > 0 {
         ExitCode::FAILURE

@@ -13,8 +13,8 @@
 //! more) to approach the paper's dataset sizes.
 
 use smoke_bench::{
-    apps_exp, micro, parallel_exp, planner_exp, query_exp, render_json, render_table, server_exp,
-    tpch_exp, vectorized_exp, ExpRow, Scale,
+    apps_exp, micro, paged_exp, parallel_exp, planner_exp, query_exp, render_json, render_table,
+    server_exp, tpch_exp, vectorized_exp, ExpRow, Scale,
 };
 
 /// One runnable experiment: its CLI name, the one-line description shown by
@@ -145,6 +145,11 @@ const EXPERIMENTS: &[Experiment] = &[
         name: "server",
         describe: "Concurrent serving: QPS, p50/p99 latency, cache hit rate",
         run: server_exp::server,
+    },
+    Experiment {
+        name: "paged",
+        describe: "Out-of-core paged execution: hit rates, cold/warm traces, compressed lineage",
+        run: paged_exp::paged,
     },
 ];
 

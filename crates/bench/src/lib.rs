@@ -14,6 +14,7 @@
 
 pub mod apps_exp;
 pub mod micro;
+pub mod paged_exp;
 pub mod parallel_exp;
 pub mod planner_exp;
 pub mod query_exp;

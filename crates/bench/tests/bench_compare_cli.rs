@@ -3,7 +3,7 @@
 //!
 //! - `0` — clean comparison, or no usable baseline (absent / malformed /
 //!   missing keys): the first run of a new experiment must not fail CI.
-//! - `1` — at least one timing regression.
+//! - `1` — at least one timing (`*_ms`) or footprint (`*_bytes`) regression.
 //! - `2` — usage errors and an unreadable *fresh* artifact (the run just
 //!   produced it; it being broken is a harness bug worth failing loudly).
 
@@ -171,7 +171,62 @@ fn non_timing_metrics_are_not_compared() {
     );
     let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
     assert_eq!(code, 0, "{stdout}");
-    assert!(stdout.contains("compared 0 timing rows"), "{stdout}");
+    assert!(stdout.contains("compared 0 timing"), "{stdout}");
+}
+
+#[test]
+fn bytes_regression_beyond_threshold_exits_one() {
+    // A lineage footprint blowing past 2x baseline (e.g. compression falling
+    // back to raw blocks) trips the same wire as a timing regression.
+    let base = scratch(
+        "bytes",
+        "base.json",
+        &format!("[{}]", row("lineage_bytes", 1_000_000.0)),
+    );
+    let fresh = scratch(
+        "bytes",
+        "fresh.json",
+        &format!("[{}]", row("lineage_bytes", 4_000_000.0)),
+    );
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("::warning"), "{stdout}");
+    assert!(stdout.contains("4000000.000B"), "{stdout}");
+}
+
+#[test]
+fn bytes_below_floor_are_noise() {
+    // Tiny footprints jitter with block boundaries; both sides under the
+    // byte floor never regress, and --floor-bytes raises that floor.
+    let base = scratch(
+        "bytefloor",
+        "base.json",
+        &format!("[{}]", row("lineage_bytes", 100.0)),
+    );
+    let fresh = scratch(
+        "bytefloor",
+        "fresh.json",
+        &format!("[{}]", row("lineage_bytes", 4000.0)),
+    );
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    let (strict, stdout, _) = run(&[
+        base.to_str().unwrap(),
+        fresh.to_str().unwrap(),
+        "--floor-bytes",
+        "50",
+    ]);
+    assert_eq!(strict, 1, "{stdout}");
+}
+
+#[test]
+fn non_numeric_floor_bytes_exits_two() {
+    let (code, _, stderr) = run(&["a.json", "b.json", "--floor-bytes", "big"]);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("--floor-bytes requires a number"),
+        "{stderr}"
+    );
 }
 
 #[test]

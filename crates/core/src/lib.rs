@@ -57,6 +57,7 @@ pub mod kernels;
 pub mod key;
 pub mod lazy;
 pub mod ops;
+pub mod paged;
 pub mod parallel;
 pub mod plan;
 pub mod query;
@@ -72,6 +73,7 @@ pub use instrument::{
 };
 pub use kernels::KernelPlan;
 pub use key::{HashKey, KeyExtractor};
+pub use paged::{paged_group_by, paged_hash_join, paged_select};
 pub use parallel::{par_group_by, par_hash_join, par_select, ParallelOptions};
 pub use plan::{LogicalPlan, PlanBuilder};
 pub use workload::{LineageCube, WorkloadArtifacts};

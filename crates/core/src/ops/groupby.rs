@@ -231,7 +231,7 @@ impl<'a> KeyMode<'a> {
 }
 
 pub(crate) struct AggInputs<'a> {
-    columns: Vec<Option<&'a Column>>,
+    pub(crate) columns: Vec<Option<&'a Column>>,
 }
 
 impl<'a> AggInputs<'a> {
@@ -531,7 +531,7 @@ pub fn group_by(
 
 /// Renders a partition key in a stable human-readable form (partition
 /// attributes are categorical or discretized, §4.2).
-fn render_partition_key(key: &HashKey) -> String {
+pub(crate) fn render_partition_key(key: &HashKey) -> String {
     match key {
         HashKey::Int(v) => v.to_string(),
         HashKey::Str(s) => s.clone(),

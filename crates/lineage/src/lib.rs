@@ -13,7 +13,10 @@
 //! * [`RidIndex`] — an inverted index whose `i`-th entry is a rid array, for
 //!   1-to-N relationships (e.g. the backward lineage of a group-by);
 //! * [`CsrRidIndex`] — the same 1-to-N mapping finalized into two contiguous
-//!   exactly-sized buffers (compressed sparse row) for read-heavy tracing.
+//!   exactly-sized buffers (compressed sparse row) for read-heavy tracing;
+//! * [`CompressedCsrIndex`] — a finished CSR spilled out of core: resident
+//!   offsets over delta + bit-packed rid blocks in a buffer-pool-backed
+//!   segment store, decoding only the blocks a trace touches.
 //!
 //! Following the paper (and the high-performance vector libraries it cites),
 //! rid arrays start with capacity 10 and grow by 1.5× on overflow; the resize
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod compose;
+mod compressed;
 mod csr;
 mod index;
 mod operator;
@@ -45,6 +49,7 @@ pub mod semantics;
 mod stats;
 
 pub use compose::{compose_backward, compose_forward};
+pub use compressed::{CompressedCsrIndex, EDGES_PER_BLOCK};
 pub use csr::{CsrBuilder, CsrRidIndex};
 pub use index::LineageIndex;
 pub use operator::{InputLineage, OperatorLineage, QueryLineage};

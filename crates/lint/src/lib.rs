@@ -2,7 +2,8 @@
 //!
 //! Clippy and rustc see Rust; they cannot see *Smoke's* invariants — that
 //! the server's request path never panics on untrusted bytes, that lock
-//! guards never straddle blocking I/O, that whole-column kernels stay pure
+//! guards and pinned buffer-pool pages never straddle blocking I/O, that
+//! whole-column kernels stay pure
 //! `0..len` delegations of their `_range` twins, that the hand-rolled JSON
 //! layer keeps integers exact. This crate encodes those invariants as lint
 //! rules over a hand-rolled token stream (the workspace vendors its few

@@ -11,10 +11,11 @@ use crate::lexer::{Token, TokenKind};
 use crate::Violation;
 
 /// Stable rule identifiers, in reporting order.
-pub const RULE_IDS: [&str; 5] = [
+pub const RULE_IDS: [&str; 6] = [
     "no-panic-on-request-path",
     "unsafe-needs-safety-comment",
     "no-lock-across-io",
+    "pin-guard-no-io",
     "kernel-range-twin",
     "exact-int-json",
 ];
@@ -30,9 +31,12 @@ fn violation(rule: &'static str, path: &str, tok: &Token, message: String) -> Vi
 }
 
 /// Whether `path` is on the untrusted request path: everything in the server
-/// crate plus the planner's hand-rolled JSON and wire-decode layers.
+/// crate plus the planner's hand-rolled JSON and wire-decode layers, plus
+/// the pager crate — its buffer pool sits under every paged session, so a
+/// panic there poisons pool locks for all concurrent readers.
 fn on_request_path(path: &str) -> bool {
     path.starts_with("crates/server/src/")
+        || path.starts_with("crates/pager/src/")
         || path == "crates/planner/src/json.rs"
         || path == "crates/planner/src/wire.rs"
 }
@@ -166,40 +170,43 @@ pub fn unsafe_needs_safety_comment(path: &str, tokens: &[Token]) -> Vec<Violatio
     out
 }
 
-/// A live lock-guard binding for rule 3.
+/// A live guard binding for the guard-across-I/O rules.
 struct Guard {
     name: String,
     brace_depth: usize,
     line: u32,
 }
 
-/// Rule 3 — `no-lock-across-io`.
-///
-/// In the server crate, a `Mutex`/`RwLock`/`Condvar` guard binding must not
-/// be live across a blocking I/O call (`read`/`write`/`accept`/frame
-/// helpers). Heuristic: a `let` statement whose initializer contains
-/// `.lock(`/`.read(`/`.write(` *on a lock receiver* starts a guard; the
-/// guard dies at the end of its block or at `drop(name)`. Any I/O call while
-/// a guard is live fires.
-pub fn no_lock_across_io(path: &str, tokens: &[Token]) -> Vec<Violation> {
-    const RULE: &str = "no-lock-across-io";
-    let mut out = Vec::new();
-    if !path.starts_with("crates/server/src/") {
-        return out;
-    }
-    const IO_METHODS: [&str; 9] = [
-        "read",
-        "read_exact",
-        "write",
-        "write_all",
-        "flush",
-        "accept",
-        "recv",
-        "recv_timeout",
-        "connect",
-    ];
-    const IO_FREE: [&str; 2] = ["read_frame", "write_frame"];
+/// Blocking I/O methods (fired on a `.` receiver) shared by the
+/// guard-across-I/O rules.
+const IO_METHODS: [&str; 9] = [
+    "read",
+    "read_exact",
+    "write",
+    "write_all",
+    "flush",
+    "accept",
+    "recv",
+    "recv_timeout",
+    "connect",
+];
+/// Blocking free/associated frame helpers shared by the guard-across-I/O
+/// rules.
+const IO_FREE: [&str; 2] = ["read_frame", "write_frame"];
 
+/// The shared walk behind `no-lock-across-io` and `pin-guard-no-io`: a `let`
+/// statement whose initializer contains a method call matched by `acquire`
+/// starts a guard; the guard dies at the end of its block or at
+/// `drop(name)`. Any blocking I/O call while a guard is live fires a
+/// violation naming the guards via `noun`.
+fn guard_across_io(
+    rule: &'static str,
+    noun: &str,
+    acquire: fn(&str) -> bool,
+    path: &str,
+    tokens: &[Token],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
     let sig: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
     let mut guards: Vec<Guard> = Vec::new();
     let mut depth = 0usize;
@@ -226,7 +233,7 @@ pub fn no_lock_across_io(path: &str, tokens: &[Token]) -> Vec<Violation> {
                 .filter(|t| t.kind == TokenKind::Ident)
                 .map(|t| t.text.clone());
             // Scan the statement (to `;` at this brace depth, or to a `{`
-            // that opens a sub-block as in `if let`/`while let`) for a lock
+            // that opens a sub-block as in `if let`/`while let`) for an
             // acquisition.
             let mut k = i + 1;
             let mut acquires = false;
@@ -235,7 +242,7 @@ pub fn no_lock_across_io(path: &str, tokens: &[Token]) -> Vec<Violation> {
                     break;
                 }
                 if t.kind == TokenKind::Ident
-                    && matches!(t.text.as_str(), "lock" | "wait" | "wait_timeout")
+                    && acquire(&t.text)
                     && sig.get(k.wrapping_sub(1)).is_some_and(|p| p.is_punct('.'))
                     && sig.get(k + 1).is_some_and(|n| n.is_punct('('))
                 {
@@ -264,11 +271,11 @@ pub fn no_lock_across_io(path: &str, tokens: &[Token]) -> Vec<Violation> {
                     .map(|g| format!("`{}` (line {})", g.name, g.line))
                     .collect();
                 out.push(violation(
-                    RULE,
+                    rule,
                     path,
                     tok,
                     format!(
-                        "blocking I/O call `{}` while lock guard(s) {} are live; drop the guard first",
+                        "blocking I/O call `{}` while {noun}(s) {} are live; drop the guard first",
                         tok.text,
                         held.join(", ")
                     ),
@@ -278,6 +285,48 @@ pub fn no_lock_across_io(path: &str, tokens: &[Token]) -> Vec<Violation> {
         i += 1;
     }
     out
+}
+
+/// Rule 3 — `no-lock-across-io`.
+///
+/// In the server crate, a `Mutex`/`RwLock`/`Condvar` guard binding must not
+/// be live across a blocking I/O call (`read`/`write`/`accept`/frame
+/// helpers). Heuristic: a `let` statement whose initializer contains
+/// `.lock(`/`.wait(` *on a lock receiver* starts a guard; the guard dies at
+/// the end of its block or at `drop(name)`. Any I/O call while a guard is
+/// live fires.
+pub fn no_lock_across_io(path: &str, tokens: &[Token]) -> Vec<Violation> {
+    if !path.starts_with("crates/server/src/") {
+        return Vec::new();
+    }
+    guard_across_io(
+        "no-lock-across-io",
+        "lock guard",
+        |name| matches!(name, "lock" | "wait" | "wait_timeout"),
+        path,
+        tokens,
+    )
+}
+
+/// Rule 4 — `pin-guard-no-io`.
+///
+/// In the server crate, a pinned-page guard (a `let` binding whose
+/// initializer calls `.pin(`) must not be live across blocking session I/O.
+/// A pin occupies a buffer-pool frame; holding one while a slow client
+/// drains a socket write shrinks the pool for every concurrent session and
+/// can deadlock a budget-of-one pool outright. Decode the page into an
+/// owned value, drop the pin, then write.
+pub fn pin_guard_no_io(path: &str, tokens: &[Token]) -> Vec<Violation> {
+    if !path.starts_with("crates/server/src/") {
+        return Vec::new();
+    }
+    guard_across_io(
+        "pin-guard-no-io",
+        "pinned-page guard",
+        |name| name == "pin",
+        path,
+        tokens,
+    )
 }
 
 /// A function's extent in the significant-token stream: `(name, open-brace
@@ -325,7 +374,7 @@ fn fn_spans(sig: &[&Token]) -> Vec<(String, usize, usize)> {
     out
 }
 
-/// Rule 4 — `kernel-range-twin`.
+/// Rule 5 — `kernel-range-twin`.
 ///
 /// In `smoke_storage::kernels`, every whole-column kernel `foo` that has a
 /// `foo_range` sibling must be a pure `0..len` delegation to it — a single
@@ -368,7 +417,7 @@ pub fn kernel_range_twin(path: &str, tokens: &[Token]) -> Vec<Violation> {
     out
 }
 
-/// Rule 5 — `exact-int-json`.
+/// Rule 6 — `exact-int-json`.
 ///
 /// The hand-rolled JSON layer renders integers exactly; float conversions
 /// (`as f64` / `as f32` casts, `parse::<f64>`) are confined to the explicit
@@ -426,6 +475,7 @@ pub fn run_all(path: &str, tokens: &[Token]) -> Vec<Violation> {
     out.extend(no_panic_on_request_path(path, tokens));
     out.extend(unsafe_needs_safety_comment(path, tokens));
     out.extend(no_lock_across_io(path, tokens));
+    out.extend(pin_guard_no_io(path, tokens));
     out.extend(kernel_range_twin(path, tokens));
     out.extend(exact_int_json(path, tokens));
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));

@@ -118,6 +118,30 @@ fn no_lock_across_io_clean() {
 }
 
 #[test]
+fn pin_guard_no_io_fires() {
+    let src = fixture("pin_io", "fires");
+    assert_fires(
+        "crates/server/src/fixture.rs",
+        &src,
+        &[("pin-guard-no-io", 7, "write_all")],
+    );
+}
+
+#[test]
+fn pin_guard_no_io_clean() {
+    let src = fixture("pin_io", "clean");
+    assert_clean("crates/server/src/fixture.rs", &src);
+}
+
+#[test]
+fn pin_guard_rule_only_applies_to_the_server_crate() {
+    // The pager's own internals pin pages around store I/O by design; the
+    // rule polices sessions, not the pool.
+    let src = fixture("pin_io", "fires");
+    assert_clean("crates/pager/src/fixture.rs", &src);
+}
+
+#[test]
 fn kernel_range_twin_fires() {
     let src = fixture("kernel_twin", "fires");
     assert_fires(

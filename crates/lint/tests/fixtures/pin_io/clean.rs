@@ -1,0 +1,23 @@
+// Fixture: the page is copied out and the pin released before the write.
+use std::io::Write;
+use std::net::TcpStream;
+
+pub fn respond(pool: &smoke_pager::BufferPool, stream: &mut TcpStream) -> std::io::Result<()> {
+    let copy = {
+        let page = pool.pin(smoke_pager::PageId(0)).map_err(std::io::Error::other)?;
+        page.bytes().to_vec()
+    };
+    stream.write_all(&copy)?;
+    Ok(())
+}
+
+pub fn respond_with_drop(
+    pool: &smoke_pager::BufferPool,
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
+    let page = pool.pin(smoke_pager::PageId(0)).map_err(std::io::Error::other)?;
+    let copy = page.bytes().to_vec();
+    drop(page);
+    stream.write_all(&copy)?;
+    Ok(())
+}

@@ -1,0 +1,9 @@
+// Fixture: a pinned-page guard held across a blocking socket write.
+use std::io::Write;
+use std::net::TcpStream;
+
+pub fn respond(pool: &smoke_pager::BufferPool, stream: &mut TcpStream) -> std::io::Result<()> {
+    let page = pool.pin(smoke_pager::PageId(0)).map_err(std::io::Error::other)?;
+    stream.write_all(page.bytes())?;
+    Ok(())
+}

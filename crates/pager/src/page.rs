@@ -1,0 +1,45 @@
+//! Page identifiers and the fixed page geometry.
+
+use std::fmt;
+
+/// Size of every page in bytes. 8 KiB holds 1024 fixed-width 8-byte values,
+/// which keeps page-aligned column chunks a multiple of the 64-row morsel
+/// alignment the parallel kernels assume.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifier of one fixed-size page inside a [`crate::SegmentStore`].
+///
+/// Page `p` lives at byte offset `p * PAGE_SIZE` of the backing segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Byte offset of this page in the backing segment.
+    pub fn offset(self) -> u64 {
+        u64::from(self.0) * PAGE_SIZE as u64
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_page_multiples() {
+        assert_eq!(PageId(0).offset(), 0);
+        assert_eq!(PageId(3).offset(), 3 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn page_size_is_morsel_aligned() {
+        // 8-byte values per page must be a multiple of the 64-row morsel
+        // alignment (see smoke_storage::morsel).
+        assert_eq!((PAGE_SIZE / 8) % 64, 0);
+    }
+}

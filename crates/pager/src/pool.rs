@@ -1,0 +1,470 @@
+//! The budgeted buffer pool: at most `capacity` pages resident at once.
+//!
+//! [`BufferPool::pin`] returns a [`PageGuard`] — an RAII pin whose `Deref`
+//! is the page's bytes. A pinned frame is never evicted; dropping the guard
+//! unpins it. Reads off a guard take no lock (the guard holds an `Arc` to
+//! the frame's buffer); all pool bookkeeping happens under one internal
+//! mutex at pin/unpin time. Writes go through [`BufferPool::with_page_mut`],
+//! which marks the frame dirty; dirty pages are written back to the
+//! [`SegmentStore`] on eviction or [`BufferPool::flush`].
+
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::error::PagerError;
+use crate::page::{PageId, PAGE_SIZE};
+use crate::replacer::{ReplacementPolicy, Replacer};
+use crate::store::SegmentStore;
+
+/// Counter snapshot of a pool's behaviour since creation (or the last
+/// [`BufferPool::reset_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pins served from a resident frame.
+    pub hits: u64,
+    /// Pins that had to load the page from the store.
+    pub misses: u64,
+    /// Resident pages pushed out to make room.
+    pub evictions: u64,
+    /// Physical page reads issued to the store.
+    pub disk_reads: u64,
+    /// Physical page writes issued to the store (write-back + flush).
+    pub disk_writes: u64,
+}
+
+impl PoolStats {
+    /// Hit fraction in `[0, 1]`; `1.0` for an untouched pool.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Frame {
+    page: Option<PageId>,
+    data: Arc<Vec<u8>>,
+    dirty: bool,
+    pins: u32,
+}
+
+struct PoolInner {
+    frames: Vec<Frame>,
+    /// page id → frame index for resident pages.
+    table: HashMap<u32, usize>,
+    replacer: Box<dyn Replacer>,
+    stats: PoolStats,
+}
+
+/// A fixed-budget page cache over a [`SegmentStore`].
+pub struct BufferPool {
+    store: SegmentStore,
+    inner: Mutex<PoolInner>,
+    capacity: usize,
+    policy: ReplacementPolicy,
+}
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panic while holding the pool mutex can only come from a replacer or
+    // allocator bug; the bookkeeping it protects is still structurally
+    // valid, so recover the guard rather than poisoning every future pin.
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl BufferPool {
+    /// A pool of `budget_pages` frames over `store`, using `policy` for
+    /// replacement. The budget is a hard cap: the pool allocates exactly
+    /// `budget_pages × PAGE_SIZE` bytes of frame memory up front and never
+    /// more.
+    pub fn new(store: SegmentStore, budget_pages: usize, policy: ReplacementPolicy) -> Self {
+        let capacity = budget_pages.max(1);
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                page: None,
+                data: Arc::new(vec![0u8; PAGE_SIZE]),
+                dirty: false,
+                pins: 0,
+            })
+            .collect();
+        BufferPool {
+            store,
+            inner: Mutex::new(PoolInner {
+                frames,
+                table: HashMap::with_capacity(capacity),
+                replacer: policy.replacer(capacity),
+                stats: PoolStats::default(),
+            }),
+            capacity,
+            policy,
+        }
+    }
+
+    /// The pool's page-count budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The replacement policy this pool was built with.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// The backing store (for allocation and raw-size queries).
+    pub fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+
+    /// Allocates a contiguous run of `n` fresh pages in the backing store.
+    pub fn allocate(&self, n: u32) -> PageId {
+        self.store.allocate(n)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        relock(&self.inner).stats
+    }
+
+    /// Zeroes the counters (the benches do this between cold and warm runs).
+    pub fn reset_stats(&self) {
+        relock(&self.inner).stats = PoolStats::default();
+    }
+
+    /// Whether `page` is currently resident (no pin taken).
+    pub fn is_resident(&self, page: PageId) -> bool {
+        relock(&self.inner).table.contains_key(&page.0)
+    }
+
+    /// Fraction of `pages` currently resident, in `[0, 1]`. The planner's
+    /// I/O cost term uses this to discount already-cached reads.
+    pub fn resident_fraction(&self, pages: &[PageId]) -> f64 {
+        if pages.is_empty() {
+            return 1.0;
+        }
+        let inner = relock(&self.inner);
+        let hits = pages
+            .iter()
+            .filter(|p| inner.table.contains_key(&p.0))
+            .count();
+        hits as f64 / pages.len() as f64
+    }
+
+    /// Ensures `page` is resident and returns its frame index with the pin
+    /// count already incremented. Caller holds the lock.
+    fn pin_frame(&self, inner: &mut PoolInner, page: PageId) -> Result<usize, PagerError> {
+        if let Some(&f) = inner.table.get(&page.0) {
+            inner.stats.hits += 1;
+            inner.replacer.on_access(f);
+            if let Some(frame) = inner.frames.get_mut(f) {
+                frame.pins += 1;
+            }
+            return Ok(f);
+        }
+        inner.stats.misses += 1;
+        // Prefer an empty frame; otherwise ask the replacer for a victim.
+        let f = match inner.frames.iter().position(|fr| fr.page.is_none()) {
+            Some(f) => f,
+            None => {
+                let evictable: Vec<bool> = inner
+                    .frames
+                    .iter()
+                    .map(|fr| fr.page.is_some() && fr.pins == 0)
+                    .collect();
+                let Some(f) = inner.replacer.victim(&evictable) else {
+                    return Err(PagerError::PoolExhausted {
+                        capacity: self.capacity,
+                    });
+                };
+                f
+            }
+        };
+        // Write back and unmap the evicted page.
+        if let Some(frame) = inner.frames.get_mut(f) {
+            if let Some(old) = frame.page.take() {
+                if frame.dirty {
+                    self.store.write_page(old, &frame.data)?;
+                    inner.stats.disk_writes += 1;
+                    frame.dirty = false;
+                }
+                inner.table.remove(&old.0);
+                inner.stats.evictions += 1;
+            }
+        }
+        // Load the requested page. The frame's buffer is exclusively owned
+        // here (pins == 0 and no live guards), so `make_mut` is in-place.
+        if let Some(frame) = inner.frames.get_mut(f) {
+            let buf = Arc::make_mut(&mut frame.data);
+            self.store.read_page(page, buf)?;
+            inner.stats.disk_reads += 1;
+            frame.page = Some(page);
+            frame.pins += 1;
+        }
+        inner.table.insert(page.0, f);
+        inner.replacer.on_admit(f);
+        Ok(f)
+    }
+
+    /// Pins `page`, loading it from the store on a miss (evicting an
+    /// unpinned frame if the pool is full). Fails with
+    /// [`PagerError::PoolExhausted`] when every frame is pinned.
+    pub fn pin(&self, page: PageId) -> Result<PageGuard<'_>, PagerError> {
+        let mut inner = relock(&self.inner);
+        let f = self.pin_frame(&mut inner, page)?;
+        let data = inner
+            .frames
+            .get(f)
+            .map(|fr| Arc::clone(&fr.data))
+            .unwrap_or_default();
+        Ok(PageGuard {
+            pool: self,
+            frame: f,
+            page,
+            data,
+        })
+    }
+
+    /// Runs `mutate` over the bytes of `page` (loading it first if needed)
+    /// and marks the frame dirty. Readers holding guards on the same page
+    /// keep their pre-mutation snapshot; new pins observe the mutation.
+    pub fn with_page_mut<R>(
+        &self,
+        page: PageId,
+        mutate: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, PagerError> {
+        let mut inner = relock(&self.inner);
+        let f = self.pin_frame(&mut inner, page)?;
+        match inner.frames.get_mut(f) {
+            Some(frame) => {
+                frame.dirty = true;
+                let r = mutate(Arc::make_mut(&mut frame.data).as_mut_slice());
+                frame.pins = frame.pins.saturating_sub(1);
+                Ok(r)
+            }
+            None => Err(PagerError::PageOutOfBounds {
+                page,
+                allocated: self.store.page_count(),
+            }),
+        }
+    }
+
+    /// Writes every dirty resident page back to the store.
+    pub fn flush(&self) -> Result<(), PagerError> {
+        let mut inner = relock(&self.inner);
+        let mut writes = 0u64;
+        for frame in inner.frames.iter_mut() {
+            if let (Some(page), true) = (frame.page, frame.dirty) {
+                self.store.write_page(page, &frame.data)?;
+                frame.dirty = false;
+                writes += 1;
+            }
+        }
+        inner.stats.disk_writes += writes;
+        Ok(())
+    }
+
+    fn unpin(&self, frame: usize) {
+        let mut inner = relock(&self.inner);
+        if let Some(fr) = inner.frames.get_mut(frame) {
+            fr.pins = fr.pins.saturating_sub(1);
+        }
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("policy", &self.policy)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// An RAII pin on one page. Deref yields the page's `PAGE_SIZE` bytes;
+/// dropping the guard unpins the frame. Holding a guard pins real budget —
+/// never hold one across blocking I/O or another long-lived acquisition
+/// (the `pin-guard-no-io` lint enforces this on the server's request path).
+pub struct PageGuard<'a> {
+    pool: &'a BufferPool,
+    frame: usize,
+    page: PageId,
+    data: Arc<Vec<u8>>,
+}
+
+impl PageGuard<'_> {
+    /// The pinned page's id.
+    pub fn page(&self) -> PageId {
+        self.page
+    }
+}
+
+impl Deref for PageGuard<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Drop for PageGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.frame);
+    }
+}
+
+impl std::fmt::Debug for PageGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageGuard")
+            .field("page", &self.page)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(pages: u32, budget: usize, policy: ReplacementPolicy) -> BufferPool {
+        let store = SegmentStore::in_memory();
+        let first = store.allocate(pages);
+        assert_eq!(first, PageId(0));
+        let pool = BufferPool::new(store, budget, policy);
+        for p in 0..pages {
+            pool.with_page_mut(PageId(p), |buf| buf.fill(p as u8))
+                .unwrap();
+        }
+        pool.flush().unwrap();
+        pool.reset_stats();
+        pool
+    }
+
+    #[test]
+    fn pins_read_page_contents() {
+        let pool = pool(4, 2, ReplacementPolicy::Clock);
+        for p in 0..4u32 {
+            let g = pool.pin(PageId(p)).unwrap();
+            assert_eq!(g.len(), PAGE_SIZE);
+            assert!(g.iter().all(|&b| b == p as u8), "page {p}");
+            assert_eq!(g.page(), PageId(p));
+        }
+    }
+
+    #[test]
+    fn budget_is_a_hard_cap_with_eviction() {
+        let pool = pool(8, 2, ReplacementPolicy::Lru);
+        for p in 0..8u32 {
+            pool.pin(PageId(p)).unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, 8);
+        assert_eq!(s.hits, 0);
+        // The fill loop left the pool full, so every miss evicts.
+        assert_eq!(s.evictions, 8);
+        // Re-touch the two resident pages: hits, no I/O.
+        pool.pin(PageId(6)).unwrap();
+        pool.pin(PageId(7)).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.hits, 2);
+        assert!(pool.is_resident(PageId(7)));
+        assert!(!pool.is_resident(PageId(0)));
+    }
+
+    #[test]
+    fn pinned_frames_are_never_evicted() {
+        let pool = pool(3, 2, ReplacementPolicy::Clock);
+        let g0 = pool.pin(PageId(0)).unwrap();
+        let g1 = pool.pin(PageId(1)).unwrap();
+        // Both frames pinned: a third pin must fail, not evict.
+        assert_eq!(
+            pool.pin(PageId(2)).map(|_| ()),
+            Err(PagerError::PoolExhausted { capacity: 2 })
+        );
+        drop(g1);
+        // Now one frame is evictable.
+        let g2 = pool.pin(PageId(2)).unwrap();
+        assert!(g2.iter().all(|&b| b == 2));
+        assert!(g0.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn dirty_pages_write_back_on_eviction() {
+        let store = SegmentStore::in_memory();
+        store.allocate(3);
+        let pool = BufferPool::new(store, 1, ReplacementPolicy::Sieve);
+        pool.with_page_mut(PageId(0), |buf| buf.fill(0xAA)).unwrap();
+        // Budget of one page: pinning page 1 evicts dirty page 0.
+        pool.pin(PageId(1)).unwrap();
+        assert_eq!(pool.stats().disk_writes, 1);
+        let g = pool.pin(PageId(0)).unwrap();
+        assert!(g.iter().all(|&b| b == 0xAA));
+    }
+
+    #[test]
+    fn concurrent_readers_share_frames() {
+        let pool = std::sync::Arc::new(pool(4, 4, ReplacementPolicy::Clock));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let pool = std::sync::Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..50u32 {
+                    let p = (t + round) % 4;
+                    let g = pool.pin(PageId(p)).unwrap();
+                    assert!(g.iter().all(|&b| b == p as u8));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 200);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn stats_reset_and_hit_rate() {
+        // After the fill loop only pages 2 and 3 are resident.
+        let pool = pool(4, 2, ReplacementPolicy::Lru);
+        pool.pin(PageId(0)).unwrap();
+        pool.pin(PageId(0)).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+        pool.reset_stats();
+        assert_eq!(pool.stats(), PoolStats::default());
+        assert_eq!(PoolStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn resident_fraction_discounts_cached_pages() {
+        let pool = pool(4, 2, ReplacementPolicy::Lru);
+        pool.pin(PageId(0)).unwrap();
+        pool.pin(PageId(1)).unwrap();
+        let all: Vec<PageId> = (0..4).map(PageId).collect();
+        assert!((pool.resident_fraction(&all) - 0.5).abs() < 1e-9);
+        assert_eq!(pool.resident_fraction(&[]), 1.0);
+    }
+
+    #[test]
+    fn every_policy_sees_identical_page_contents() {
+        for policy in ReplacementPolicy::ALL {
+            let pool = pool(16, 4, policy);
+            // A looping scan with a hot page mixed in.
+            for round in 0..3 {
+                for p in 0..16u32 {
+                    let g = pool.pin(PageId(p)).unwrap();
+                    assert!(g.iter().all(|&b| b == p as u8), "{policy} round {round}");
+                    drop(g);
+                    let hot = pool.pin(PageId(0)).unwrap();
+                    assert!(hot.iter().all(|&b| b == 0));
+                }
+            }
+            let s = pool.stats();
+            assert_eq!(s.hits + s.misses, 96);
+            assert!(s.misses >= 16, "{policy}: {s:?}");
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Pluggable page-replacement policies.
+//!
+//! The buffer pool reports frame events (`on_admit`, `on_access`,
+//! `on_evict`) and asks the policy for a victim when a miss needs a frame.
+//! `victim` receives an evictability mask (a frame is evictable when it
+//! holds a page and its pin count is zero) and must only return frames the
+//! mask allows. Three policies ship: Clock (second chance), SIEVE (lazy
+//! promotion / FIFO with a sweeping hand — Zhang et al., NSDI'24), and an
+//! exact LRU.
+
+use std::fmt;
+
+/// A page-replacement policy over a fixed set of `capacity` frames.
+pub trait Replacer: Send {
+    /// Stable short name for stats and bench output.
+    fn name(&self) -> &'static str;
+    /// A resident frame was hit.
+    fn on_access(&mut self, frame: usize);
+    /// A page was loaded into `frame`.
+    fn on_admit(&mut self, frame: usize);
+    /// `frame` was emptied outside of `victim` (pool shutdown paths).
+    fn on_evict(&mut self, frame: usize);
+    /// Chooses a frame to evict. `evictable[f]` is true when frame `f`
+    /// holds an unpinned page. Returns `None` when no frame is evictable.
+    fn victim(&mut self, evictable: &[bool]) -> Option<usize>;
+}
+
+/// Which [`Replacer`] a pool uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// Second-chance clock: one reference bit per frame, a sweeping hand.
+    Clock,
+    /// SIEVE: FIFO order with a hand that spares visited pages once and
+    /// never moves objects on hit.
+    Sieve,
+    /// Exact least-recently-used via per-frame timestamps.
+    Lru,
+}
+
+impl ReplacementPolicy {
+    /// All shipped policies, in bench-report order.
+    pub const ALL: [ReplacementPolicy; 3] = [
+        ReplacementPolicy::Clock,
+        ReplacementPolicy::Sieve,
+        ReplacementPolicy::Lru,
+    ];
+
+    /// Stable lowercase name (`clock` / `sieve` / `lru`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReplacementPolicy::Clock => "clock",
+            ReplacementPolicy::Sieve => "sieve",
+            ReplacementPolicy::Lru => "lru",
+        }
+    }
+
+    /// Parses a policy name as produced by [`ReplacementPolicy::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "clock" => Some(ReplacementPolicy::Clock),
+            "sieve" => Some(ReplacementPolicy::Sieve),
+            "lru" => Some(ReplacementPolicy::Lru),
+            _ => None,
+        }
+    }
+
+    /// Builds the policy's replacer for a pool of `capacity` frames.
+    pub fn replacer(self, capacity: usize) -> Box<dyn Replacer> {
+        match self {
+            ReplacementPolicy::Clock => Box::new(Clock::new(capacity)),
+            ReplacementPolicy::Sieve => Box::new(Sieve::new(capacity)),
+            ReplacementPolicy::Lru => Box::new(Lru::new(capacity)),
+        }
+    }
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Second-chance clock replacement.
+pub struct Clock {
+    referenced: Vec<bool>,
+    hand: usize,
+}
+
+impl Clock {
+    /// A clock over `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        Clock {
+            referenced: vec![false; capacity.max(1)],
+            hand: 0,
+        }
+    }
+}
+
+impl Replacer for Clock {
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+
+    fn on_access(&mut self, frame: usize) {
+        if let Some(bit) = self.referenced.get_mut(frame) {
+            *bit = true;
+        }
+    }
+
+    fn on_admit(&mut self, frame: usize) {
+        self.on_access(frame);
+    }
+
+    fn on_evict(&mut self, frame: usize) {
+        if let Some(bit) = self.referenced.get_mut(frame) {
+            *bit = false;
+        }
+    }
+
+    fn victim(&mut self, evictable: &[bool]) -> Option<usize> {
+        let n = self.referenced.len().min(evictable.len());
+        if n == 0 || !evictable.iter().take(n).any(|&e| e) {
+            return None;
+        }
+        // Two sweeps suffice: the first clears every referenced bit on an
+        // evictable frame, the second must then find one.
+        for _ in 0..2 * n + 1 {
+            let f = self.hand;
+            self.hand = (self.hand + 1) % n;
+            if !evictable.get(f).copied().unwrap_or(false) {
+                continue;
+            }
+            if self.referenced.get(f).copied().unwrap_or(false) {
+                if let Some(bit) = self.referenced.get_mut(f) {
+                    *bit = false;
+                }
+            } else {
+                return Some(f);
+            }
+        }
+        None
+    }
+}
+
+/// SIEVE replacement: FIFO insertion order, a `visited` bit set on hit, and
+/// a hand sweeping old→older that spares visited pages once. Unlike clock,
+/// the hand does not wrap over freshly admitted pages mid-sweep, and hits
+/// never move objects.
+pub struct Sieve {
+    /// Frames in insertion order, newest first.
+    order: Vec<usize>,
+    visited: Vec<bool>,
+    /// Index into `order` the hand points at (the next eviction candidate).
+    hand: Option<usize>,
+}
+
+impl Sieve {
+    /// A SIEVE over `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        Sieve {
+            order: Vec::with_capacity(capacity),
+            visited: vec![false; capacity.max(1)],
+            hand: None,
+        }
+    }
+
+    fn step_back(&self, h: usize) -> Option<usize> {
+        if h == 0 {
+            None
+        } else {
+            Some(h - 1)
+        }
+    }
+}
+
+impl Replacer for Sieve {
+    fn name(&self) -> &'static str {
+        "sieve"
+    }
+
+    fn on_access(&mut self, frame: usize) {
+        if let Some(bit) = self.visited.get_mut(frame) {
+            *bit = true;
+        }
+    }
+
+    fn on_admit(&mut self, frame: usize) {
+        // New objects enter at the head unvisited.
+        self.order.retain(|&f| f != frame);
+        self.order.insert(0, frame);
+        if let Some(bit) = self.visited.get_mut(frame) {
+            *bit = false;
+        }
+        // Inserting at the head shifts every index up by one.
+        if let Some(h) = self.hand {
+            self.hand = Some(h + 1);
+        }
+    }
+
+    fn on_evict(&mut self, frame: usize) {
+        if let Some(pos) = self.order.iter().position(|&f| f == frame) {
+            self.order.remove(pos);
+            if let Some(h) = self.hand {
+                if pos <= h {
+                    self.hand = self.step_back(h);
+                }
+            }
+        }
+    }
+
+    fn victim(&mut self, evictable: &[bool]) -> Option<usize> {
+        if self.order.is_empty() {
+            return None;
+        }
+        // At most two passes over the queue: one clears visited bits, one
+        // must find an unvisited evictable frame (if any frame is evictable).
+        for _ in 0..2 * self.order.len() + 1 {
+            let h = match self.hand {
+                Some(h) if h < self.order.len() => h,
+                _ => self.order.len() - 1, // (re)start at the tail = oldest
+            };
+            let &frame = self.order.get(h)?;
+            if !evictable.get(frame).copied().unwrap_or(false) {
+                // Pinned or empty: skip without touching its visited bit.
+                self.hand = self.step_back(h);
+                continue;
+            }
+            if self.visited.get(frame).copied().unwrap_or(false) {
+                if let Some(bit) = self.visited.get_mut(frame) {
+                    *bit = false;
+                }
+                self.hand = self.step_back(h);
+            } else {
+                self.order.remove(h);
+                self.hand = self.step_back(h);
+                return Some(frame);
+            }
+        }
+        None
+    }
+}
+
+/// Exact LRU via monotonically increasing access stamps.
+pub struct Lru {
+    stamp: Vec<u64>,
+    clock: u64,
+}
+
+impl Lru {
+    /// An LRU over `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        Lru {
+            stamp: vec![0; capacity.max(1)],
+            clock: 0,
+        }
+    }
+}
+
+impl Replacer for Lru {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn on_access(&mut self, frame: usize) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(s) = self.stamp.get_mut(frame) {
+            *s = clock;
+        }
+    }
+
+    fn on_admit(&mut self, frame: usize) {
+        self.on_access(frame);
+    }
+
+    fn on_evict(&mut self, frame: usize) {
+        if let Some(s) = self.stamp.get_mut(frame) {
+            *s = 0;
+        }
+    }
+
+    fn victim(&mut self, evictable: &[bool]) -> Option<usize> {
+        self.stamp
+            .iter()
+            .enumerate()
+            .take(evictable.len())
+            .filter(|(f, _)| evictable.get(*f).copied().unwrap_or(false))
+            .min_by_key(|(_, &s)| s)
+            .map(|(f, _)| f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(n: usize, pinned: &[usize]) -> Vec<bool> {
+        (0..n).map(|f| !pinned.contains(&f)).collect()
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in ReplacementPolicy::ALL {
+            assert_eq!(ReplacementPolicy::parse(p.as_str()), Some(p));
+            assert_eq!(p.replacer(4).name(), p.as_str());
+        }
+        assert_eq!(ReplacementPolicy::parse("mru"), None);
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let mut c = Clock::new(3);
+        for f in 0..3 {
+            c.on_admit(f);
+        }
+        // All referenced: first sweep clears, second evicts frame 0.
+        assert_eq!(c.victim(&mask(3, &[])), Some(0));
+        // Re-admit 0; access 1 so it survives over 2.
+        c.on_admit(0);
+        c.on_access(1);
+        assert_eq!(c.victim(&mask(3, &[])), Some(2));
+    }
+
+    #[test]
+    fn clock_respects_pins() {
+        let mut c = Clock::new(2);
+        c.on_admit(0);
+        c.on_admit(1);
+        assert_eq!(c.victim(&mask(2, &[0])), Some(1));
+        assert_eq!(c.victim(&[false, false]), None);
+    }
+
+    #[test]
+    fn sieve_evicts_oldest_unvisited() {
+        let mut s = Sieve::new(3);
+        s.on_admit(0); // oldest
+        s.on_admit(1);
+        s.on_admit(2); // newest
+        s.on_access(0); // oldest is visited → spared once
+        assert_eq!(s.victim(&mask(3, &[])), Some(1));
+        // Hand stays put: next eviction continues toward the head.
+        assert_eq!(s.victim(&mask(3, &[])), Some(2));
+        // Only 0 remains; its visited bit was cleared by the first sweep.
+        assert_eq!(s.victim(&mask(3, &[])), Some(0));
+        assert_eq!(s.victim(&mask(3, &[])), None);
+    }
+
+    #[test]
+    fn sieve_skips_pinned_without_clearing() {
+        let mut s = Sieve::new(3);
+        s.on_admit(0);
+        s.on_admit(1);
+        s.on_admit(2);
+        s.on_access(1);
+        // 0 pinned; 1 visited (spared); 2 evicted.
+        assert_eq!(s.victim(&mask(3, &[0])), Some(2));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut l = Lru::new(3);
+        l.on_admit(0);
+        l.on_admit(1);
+        l.on_admit(2);
+        l.on_access(0);
+        assert_eq!(l.victim(&mask(3, &[])), Some(1));
+        assert_eq!(l.victim(&mask(3, &[1])), Some(2));
+        assert_eq!(l.victim(&[false, false, false]), None);
+    }
+}

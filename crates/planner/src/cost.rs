@@ -64,6 +64,11 @@ pub(crate) const COST_CUBE_CELL: f64 = 2.0;
 /// Fixed per-query overhead (plan + result assembly), keeps tiny inputs from
 /// producing degenerate zero costs.
 pub(crate) const QUERY_OVERHEAD: f64 = 8.0;
+/// Reading one [`smoke_storage::PAGE_SIZE`]-byte page out of the segment
+/// store into the buffer pool. Calibrated against [`COST_EDGE`]: a pread of
+/// an 8 KiB page that hits the OS page cache lands around 2–3 µs, roughly
+/// forty edge lookups.
+pub(crate) const COST_PAGE_READ: f64 = 40.0;
 /// Marginal throughput of each worker beyond the first in a morsel-parallel
 /// full scan, as a fraction of the first worker's. Sub-linear on purpose:
 /// memory bandwidth is shared, the merge is sequential, and morsel-boundary
@@ -81,6 +86,67 @@ pub(crate) fn parallel_factor(dop: usize) -> f64 {
     1.0 + (dop.max(1) - 1) as f64 * PARALLEL_EFFICIENCY
 }
 
+/// Describes the paged layout of a traced view's base relation so the cost
+/// model can charge strategies for the pages they would actually read
+/// (see [`smoke_storage::PagedRelation`] and `smoke_pager::BufferPool`).
+///
+/// The model is per-column: numeric columns are independent page runs of
+/// [`smoke_storage::ROWS_PER_PAGE`] fixed-width values, so a strategy that
+/// fetches `k` of `n` rows from `c` columns touches
+/// `c * pages_per_column * (1 - (1 - k/n)^rows_per_page)` distinct pages —
+/// Yao's expected-distinct-blocks formula with the usual sampling
+/// approximation. Reads are then discounted by the buffer pool's current
+/// residency before being charged at the fixed per-page read cost
+/// ([`IoModel::read_cost`]).
+#[derive(Debug, Clone, Copy)]
+pub struct IoModel {
+    /// Pages each paged column of the base relation occupies.
+    pub pages_per_column: u64,
+    /// Number of paged (numeric) columns in the base relation.
+    pub columns: usize,
+    /// Fixed-width values stored per page.
+    pub rows_per_page: usize,
+    /// Fraction of the relation's pages currently resident in the buffer
+    /// pool, in `[0, 1]`.
+    pub residency: f64,
+}
+
+impl IoModel {
+    /// Builds the model straight from a spilled relation and its pool.
+    pub fn from_paged(relation: &smoke_storage::PagedRelation) -> IoModel {
+        IoModel {
+            pages_per_column: relation.pages_per_column() as u64,
+            columns: relation.paged_columns(),
+            rows_per_page: smoke_storage::ROWS_PER_PAGE,
+            residency: relation.resident_fraction(),
+        }
+    }
+
+    /// Total pages across every paged column (a full scan's footprint).
+    pub fn total_pages(&self) -> f64 {
+        self.pages_per_column as f64 * self.columns as f64
+    }
+
+    /// Expected distinct pages touched when fetching `k` of `n` rows from
+    /// `columns` paged columns (Yao's formula). Monotone in `k`: pruning a
+    /// trace down to a fraction of its rids strictly shrinks the estimate
+    /// until every page is touched anyway.
+    pub fn expected_pages(&self, k: f64, n: usize, columns: usize) -> f64 {
+        if n == 0 || k <= 0.0 || self.pages_per_column == 0 {
+            return 0.0;
+        }
+        let miss = (1.0 - (k.min(n as f64) / n as f64)).powi(self.rows_per_page as i32);
+        let frac = 1.0 - miss;
+        frac * self.pages_per_column as f64 * columns.min(self.columns) as f64
+    }
+
+    /// Work units charged for reading `pages` pages, discounted by the
+    /// fraction the pool already holds.
+    pub fn read_cost(&self, pages: f64) -> f64 {
+        pages * (1.0 - self.residency.clamp(0.0, 1.0)) * COST_PAGE_READ
+    }
+}
+
 /// One costed strategy candidate.
 #[derive(Debug, Clone)]
 pub struct CandidateCost {
@@ -88,6 +154,10 @@ pub struct CandidateCost {
     pub strategy: Strategy,
     /// Estimated cost in work units; `f64::INFINITY` when infeasible.
     pub cost: f64,
+    /// Estimated distinct base-relation pages the strategy reads. Always
+    /// `0.0` when the planner has no [`IoModel`] (fully in-RAM base) and for
+    /// infeasible candidates.
+    pub est_pages: f64,
     /// Whether the strategy can answer this query with the artifacts at hand.
     pub feasible: bool,
     /// Why the candidate is (in)feasible / how its cost was derived.
@@ -109,6 +179,9 @@ pub struct Explain {
     /// Degree of parallelism the scan costs were modeled with (1 = the
     /// sequential engine).
     pub dop: usize,
+    /// Buffer-pool residency the I/O estimates were discounted by, when the
+    /// planner holds an [`IoModel`]; `None` for a fully in-RAM base.
+    pub residency: Option<f64>,
     /// All candidates, in planning order.
     pub candidates: Vec<CandidateCost>,
 }
@@ -122,20 +195,38 @@ impl Explain {
             .map(|c| c.cost)
     }
 
-    /// Renders the explain output as a single human-readable line.
+    /// The page estimate recorded for `strategy`, if it was considered.
+    pub fn candidate_pages(&self, strategy: Strategy) -> Option<f64> {
+        self.candidates
+            .iter()
+            .find(|c| c.strategy == strategy)
+            .map(|c| c.est_pages)
+    }
+
+    /// Renders the explain output as a single human-readable line. Page
+    /// estimates appear only when the planner was given an [`IoModel`].
     pub fn render(&self) -> String {
         let mut out = format!(
-            "strategy={} cost={:.1} width={} fanout={:.2} dop={} | candidates: ",
+            "strategy={} cost={:.1} width={} fanout={:.2} dop={}",
             self.strategy, self.cost, self.selection_width, self.est_fanout, self.dop
         );
+        if let Some(res) = self.residency {
+            out.push_str(&format!(" residency={:.0}%", res * 100.0));
+        }
+        out.push_str(" | candidates: ");
         for (i, c) in self.candidates.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
-            if c.feasible {
-                out.push_str(&format!("{}={:.1}", c.strategy, c.cost));
-            } else {
+            if !c.feasible {
                 out.push_str(&format!("{}=inf ({})", c.strategy, c.note));
+            } else if self.residency.is_some() {
+                out.push_str(&format!(
+                    "{}={:.1}/{:.0}pg",
+                    c.strategy, c.cost, c.est_pages
+                ));
+            } else {
+                out.push_str(&format!("{}={:.1}", c.strategy, c.cost));
             }
         }
         out
@@ -146,42 +237,112 @@ impl Explain {
 mod tests {
     use super::*;
 
-    #[test]
-    fn render_names_chosen_strategy_and_candidates() {
-        let explain = Explain {
+    fn sample_explain() -> Explain {
+        Explain {
             strategy: Strategy::CubeHit,
             cost: 12.0,
             selection_width: 1,
             est_fanout: 100.0,
             dop: 4,
+            residency: None,
             candidates: vec![
                 CandidateCost {
                     strategy: Strategy::EagerTrace,
                     cost: 308.0,
+                    est_pages: 17.0,
                     feasible: true,
                     note: "index scan".into(),
                 },
                 CandidateCost {
                     strategy: Strategy::LazyRewrite,
                     cost: f64::INFINITY,
+                    est_pages: 0.0,
                     feasible: false,
                     note: "no rewrite info".into(),
                 },
                 CandidateCost {
                     strategy: Strategy::CubeHit,
                     cost: 12.0,
+                    est_pages: 0.0,
                     feasible: true,
                     note: "cube lookup".into(),
                 },
             ],
-        };
+        }
+    }
+
+    #[test]
+    fn render_names_chosen_strategy_and_candidates() {
+        let explain = sample_explain();
         let line = explain.render();
         assert!(line.starts_with("strategy=CubeHit cost=12.0"));
         assert!(line.contains("dop=4"));
         assert!(line.contains("EagerTrace=308.0"));
         assert!(line.contains("LazyRewrite=inf (no rewrite info)"));
+        assert!(!line.contains("pg"), "no page column without an IoModel");
         assert_eq!(explain.candidate_cost(Strategy::EagerTrace), Some(308.0));
         assert_eq!(explain.candidate_cost(Strategy::PartitionPruned), None);
+        assert_eq!(explain.candidate_pages(Strategy::EagerTrace), Some(17.0));
+    }
+
+    #[test]
+    fn render_includes_pages_when_io_modeled() {
+        let mut explain = sample_explain();
+        explain.residency = Some(0.25);
+        let line = explain.render();
+        assert!(line.contains("residency=25%"), "{line}");
+        assert!(line.contains("EagerTrace=308.0/17pg"), "{line}");
+        assert!(line.contains("CubeHit=12.0/0pg"), "{line}");
+    }
+
+    #[test]
+    fn expected_pages_is_monotone_and_bounded() {
+        let io = IoModel {
+            pages_per_column: 1000,
+            columns: 3,
+            rows_per_page: 1024,
+            residency: 0.0,
+        };
+        let n = 1000 * 1024;
+        assert_eq!(io.expected_pages(0.0, n, 1), 0.0);
+        assert_eq!(io.expected_pages(100.0, 0, 1), 0.0);
+        let narrow = io.expected_pages(100.0, n, 1);
+        let wide = io.expected_pages(10_000.0, n, 1);
+        assert!(narrow > 0.0 && narrow < wide, "{narrow} vs {wide}");
+        // Saturates at the column's full footprint, scales with columns, and
+        // never exceeds the relation's layout.
+        assert!(io.expected_pages(n as f64, n, 1) <= 1000.0 + 1e-9);
+        assert_eq!(
+            io.expected_pages(n as f64, n, 2),
+            2.0 * io.expected_pages(n as f64, n, 1)
+        );
+        assert_eq!(
+            io.expected_pages(n as f64, n, 8),
+            io.expected_pages(n as f64, n, 3),
+            "touched columns are capped at the layout's column count"
+        );
+        assert_eq!(io.total_pages(), 3000.0);
+    }
+
+    #[test]
+    fn read_cost_discounts_resident_pages() {
+        let cold = IoModel {
+            pages_per_column: 10,
+            columns: 1,
+            rows_per_page: 1024,
+            residency: 0.0,
+        };
+        let warm = IoModel {
+            residency: 0.75,
+            ..cold
+        };
+        assert_eq!(cold.read_cost(10.0), 10.0 * COST_PAGE_READ);
+        assert!((warm.read_cost(10.0) - 2.5 * COST_PAGE_READ).abs() < 1e-9);
+        let hot = IoModel {
+            residency: 1.0,
+            ..cold
+        };
+        assert_eq!(hot.read_cost(10.0), 0.0);
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //!   [`Strategy::CubeHit`];
 //! * [`Explain`] — names the chosen strategy, its cost estimate, and every
 //!   candidate considered;
+//! * [`IoModel`] — the paged-storage I/O term: when the base relation is
+//!   spilled to a [`smoke_storage::PagedRelation`], each candidate is
+//!   charged Yao's expected-distinct-pages over the rows it fetches,
+//!   discounted by current buffer-pool residency, and the per-candidate
+//!   page estimates surface in [`Explain`];
 //! * a unified [`LineageResult`] (traced rids + optional answer relation)
 //!   and a `std::thread`-parallel batch path
 //!   ([`LineagePlanner::execute_batch`]) for multi-rid-set traces;
@@ -69,6 +74,6 @@ mod planner;
 mod query;
 pub mod wire;
 
-pub use cost::{CandidateCost, Explain, Strategy};
+pub use cost::{CandidateCost, Explain, IoModel, Strategy};
 pub use planner::{LineagePlan, LineagePlanner, LineageResult, RewriteInfo};
 pub use query::{Direction, LineageQuery, Selection};

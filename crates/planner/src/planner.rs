@@ -7,9 +7,12 @@ use smoke_core::{CmpOp, EngineError, Expr, LogicalPlan, QueryOutput, Result};
 use smoke_lineage::{CaptureStats, InputLineage, LineageIndex, PartitionedRidIndex};
 use smoke_storage::{DataType, Relation, Rid, Value};
 
+use std::collections::BTreeSet;
+
 use crate::cost::{
-    parallel_factor, CandidateCost, Explain, Strategy, COST_CUBE_CELL, COST_EDGE, COST_KEY_TERM,
-    COST_ROW_CONSUME, COST_ROW_PREDICATE_SCALAR, COST_ROW_PREDICATE_VECTOR, QUERY_OVERHEAD,
+    parallel_factor, CandidateCost, Explain, IoModel, Strategy, COST_CUBE_CELL, COST_EDGE,
+    COST_KEY_TERM, COST_ROW_CONSUME, COST_ROW_PREDICATE_SCALAR, COST_ROW_PREDICATE_VECTOR,
+    QUERY_OVERHEAD,
 };
 use crate::query::{Direction, LineageQuery, Selection};
 
@@ -111,6 +114,7 @@ pub struct LineagePlanner<'a> {
     rewrite: Option<RewriteInfo>,
     stats: Option<CaptureStats>,
     dop: usize,
+    io: Option<IoModel>,
 }
 
 impl<'a> LineagePlanner<'a> {
@@ -127,6 +131,7 @@ impl<'a> LineagePlanner<'a> {
             rewrite: None,
             stats: None,
             dop: 1,
+            io: None,
         }
     }
 
@@ -196,6 +201,22 @@ impl<'a> LineagePlanner<'a> {
         self
     }
 
+    /// Registers the paged layout of the base relation (see
+    /// [`IoModel::from_paged`]). With an I/O model, each candidate's cost
+    /// includes the segment-store pages it would read — Yao's
+    /// expected-distinct-pages over the base rows it fetches, discounted by
+    /// the buffer pool's current residency — and [`Explain`] carries the
+    /// per-candidate page estimates. This is what makes
+    /// [`Strategy::PartitionPruned`] visibly skip physical page reads (it
+    /// fetches a fraction of the rows and never re-evaluates the partition
+    /// filter) and lets a warm pool tip the scales toward trace-bound
+    /// strategies. Only backward queries charge base-relation I/O: forward
+    /// traces land in the (small, resident) view output.
+    pub fn with_io(mut self, io: IoModel) -> Self {
+        self.io = Some(io);
+        self
+    }
+
     /// Compiles a query into a [`LineagePlan`], choosing the cheapest
     /// feasible strategy.
     pub fn plan(&self, query: &LineageQuery) -> Result<LineagePlan> {
@@ -253,6 +274,43 @@ impl<'a> LineagePlanner<'a> {
             _ => None,
         };
 
+        // With an I/O model, every candidate is additionally charged for the
+        // distinct base-relation pages it would fault in, discounted by
+        // current pool residency. Only the numeric columns a consuming
+        // clause touches cost pages — `Str` columns stay resident, and a
+        // pure rid trace never leaves the lineage index. Pruning fetches
+        // both fewer rows (one partition's worth) and fewer columns (the
+        // partition equality *is* the filter, so the filter column is never
+        // re-read), which is why its page estimate sits strictly below the
+        // eager trace's for any non-degenerate partitioning.
+        let consume_cols: BTreeSet<&str> = query
+            .consume
+            .keys
+            .iter()
+            .map(String::as_str)
+            .chain(
+                query
+                    .consume
+                    .aggs
+                    .iter()
+                    .filter_map(|a| a.column.as_deref()),
+            )
+            .collect();
+        let mut eager_cols = consume_cols.clone();
+        if let Some(f) = &query.consume.filter {
+            expr_columns(f, &mut eager_cols);
+        }
+        let io_charge = |rows: f64, cols: &BTreeSet<&str>| -> (f64, f64) {
+            match &self.io {
+                Some(io) if query.direction != Direction::Forward => {
+                    let pages =
+                        io.expected_pages(rows, self.base.len(), self.paged_column_count(cols));
+                    (pages, io.read_cost(pages))
+                }
+                _ => (0.0, 0.0),
+            }
+        };
+
         let mut candidates = Vec::new();
 
         // CubeHit: a single-rid aggregate matching the cube exactly.
@@ -269,6 +327,7 @@ impl<'a> LineagePlanner<'a> {
                 CandidateCost {
                     strategy: Strategy::CubeHit,
                     cost: QUERY_OVERHEAD + cells * COST_CUBE_CELL,
+                    est_pages: 0.0,
                     feasible: true,
                     note: format!("{cells:.1} cells/entry, zero base access"),
                 }
@@ -285,9 +344,12 @@ impl<'a> LineagePlanner<'a> {
             (Some(part), Some(_)) if query.direction == Direction::Backward => {
                 let frac = 1.0 / self.avg_partitions(part, &rids).max(1.0);
                 let per_row = COST_EDGE + if aggregates { COST_ROW_CONSUME } else { 0.0 };
+                let fetched = if aggregates { traced_est * frac } else { 0.0 };
+                let (est_pages, io_cost) = io_charge(fetched, &consume_cols);
                 CandidateCost {
                     strategy: Strategy::PartitionPruned,
-                    cost: QUERY_OVERHEAD + traced_est * frac * per_row,
+                    cost: QUERY_OVERHEAD + traced_est * frac * per_row + io_cost,
+                    est_pages,
                     feasible: true,
                     note: format!("scans ~{:.0}% of each rid array", frac * 100.0),
                 }
@@ -315,9 +377,16 @@ impl<'a> LineagePlanner<'a> {
                 if aggregates {
                     cost += traced_est * COST_ROW_CONSUME;
                 }
+                let fetched = if filtered || aggregates {
+                    traced_est
+                } else {
+                    0.0
+                };
+                let (est_pages, io_cost) = io_charge(fetched, &eager_cols);
                 CandidateCost {
                     strategy: Strategy::EagerTrace,
-                    cost,
+                    cost: cost + io_cost,
+                    est_pages,
                     feasible: true,
                     note: format!("~{traced_est:.0} edges via index scan"),
                 }
@@ -341,9 +410,15 @@ impl<'a> LineagePlanner<'a> {
                 } else {
                     0.0
                 };
+                // A chunked paged scan materializes every numeric column of
+                // the relation, so the rewrite pays the full footprint.
+                let (est_pages, io_cost) = self.io.as_ref().map_or((0.0, 0.0), |io| {
+                    (io.total_pages(), io.read_cost(io.total_pages()))
+                });
                 CandidateCost {
                     strategy: Strategy::LazyRewrite,
-                    cost: QUERY_OVERHEAD + scan + consume,
+                    cost: QUERY_OVERHEAD + scan + consume + io_cost,
+                    est_pages,
                     feasible: true,
                     note: format!("full scan of {} base rows", self.base.len()),
                 }
@@ -373,6 +448,7 @@ impl<'a> LineagePlanner<'a> {
             selection_width: width,
             est_fanout,
             dop: self.dop,
+            residency: self.io.as_ref().map(|io| io.residency),
             candidates: candidates.clone(),
         };
         Ok(LineagePlan {
@@ -568,6 +644,24 @@ impl<'a> LineagePlanner<'a> {
         Some(coerced.group_key())
     }
 
+    /// Number of *paged* (numeric) base columns among `names` — `Str`
+    /// columns stay resident under the paged layout and never cost a page
+    /// read; unknown names resolve to zero pages rather than an error (the
+    /// executor will surface them).
+    fn paged_column_count(&self, names: &BTreeSet<&str>) -> usize {
+        names
+            .iter()
+            .filter(|name| {
+                self.base.column_index(name).ok().is_some_and(|idx| {
+                    matches!(
+                        self.base.schema().field(idx).data_type,
+                        DataType::Int | DataType::Float
+                    )
+                })
+            })
+            .count()
+    }
+
     /// Average number of partitions per selected entry, sampled over at most
     /// the first 8 selected rids.
     fn avg_partitions(&self, part: &PartitionedRidIndex, rids: &[Rid]) -> f64 {
@@ -761,8 +855,29 @@ fn infeasible(strategy: Strategy, note: &str) -> CandidateCost {
     CandidateCost {
         strategy,
         cost: f64::INFINITY,
+        est_pages: 0.0,
         feasible: false,
         note: note.to_string(),
+    }
+}
+
+/// Collects the distinct column names an expression references.
+fn expr_columns<'e>(expr: &'e Expr, out: &mut BTreeSet<&'e str>) {
+    match expr {
+        Expr::Column(c) => {
+            out.insert(c.as_str());
+        }
+        Expr::Literal(_) => {}
+        Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
+            expr_columns(left, out);
+            expr_columns(right, out);
+        }
+        Expr::And(l, r) | Expr::Or(l, r) => {
+            expr_columns(l, out);
+            expr_columns(r, out);
+        }
+        Expr::Not(e) => expr_columns(e, out),
+        Expr::InList { expr, .. } => expr_columns(expr, out),
     }
 }
 

@@ -797,7 +797,8 @@ pub fn result_from_json(v: &Json) -> Result<LineageResult> {
 }
 
 /// Encodes an [`Explain`] record. Infeasible candidates carry `"cost": null`
-/// (JSON cannot express infinity).
+/// (JSON cannot express infinity). `"residency"` is `null` and every
+/// `"pages"` estimate `0` when the planner had no I/O model (in-RAM base).
 pub fn explain_to_json(explain: &Explain) -> Json {
     let cost = |c: f64| {
         if c.is_finite() {
@@ -812,6 +813,7 @@ pub fn explain_to_json(explain: &Explain) -> Json {
         ("width", Json::Int(explain.selection_width as i64)),
         ("fanout", Json::Num(explain.est_fanout)),
         ("dop", Json::Int(explain.dop as i64)),
+        ("residency", explain.residency.map_or(Json::Null, Json::Num)),
         (
             "candidates",
             Json::Arr(
@@ -822,6 +824,7 @@ pub fn explain_to_json(explain: &Explain) -> Json {
                         Json::obj([
                             ("strategy", Json::str(c.strategy.to_string())),
                             ("cost", cost(c.cost)),
+                            ("pages", Json::Num(c.est_pages)),
                             ("feasible", Json::Bool(c.feasible)),
                             ("note", Json::str(c.note.clone())),
                         ])

@@ -35,4 +35,4 @@ pub use client::{Client, Reply};
 pub use protocol::{ErrorCode, Request, MAX_FRAME_BYTES};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
 pub use snapshot::{Snapshot, View};
-pub use workload::{demo_snapshot, QueryMix};
+pub use workload::{demo_snapshot, demo_snapshot_paged, QueryMix};

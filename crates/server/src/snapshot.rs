@@ -14,7 +14,7 @@ use smoke_core::workload::WorkloadArtifacts;
 use smoke_core::{EngineError, Result};
 use smoke_lineage::{CaptureStats, InputLineage, LineageIndex};
 use smoke_planner::wire::QuerySpec;
-use smoke_planner::{Explain, LineagePlanner, LineageResult, RewriteInfo};
+use smoke_planner::{Explain, IoModel, LineagePlanner, LineageResult, RewriteInfo};
 use smoke_storage::Relation;
 
 /// One traced view inside a [`Snapshot`]: a base relation, an output
@@ -28,6 +28,7 @@ pub struct View {
     artifacts: WorkloadArtifacts,
     rewrite: Option<RewriteInfo>,
     stats: Option<CaptureStats>,
+    io: Option<IoModel>,
 }
 
 impl View {
@@ -41,6 +42,7 @@ impl View {
             artifacts: WorkloadArtifacts::default(),
             rewrite: None,
             stats: None,
+            io: None,
         }
     }
 
@@ -68,6 +70,16 @@ impl View {
     /// cost model).
     pub fn stats(mut self, stats: CaptureStats) -> Self {
         self.stats = Some(stats);
+        self
+    }
+
+    /// Registers the base relation's paged-layout I/O model. Residency is
+    /// frozen at snapshot-build time — consistent with everything else in an
+    /// immutable snapshot — so served `EXPLAIN`s price page reads against
+    /// the pool state the snapshot was built under, and `PartitionPruned`
+    /// plans surface their page skipping in wire responses.
+    pub fn io(mut self, io: IoModel) -> Self {
+        self.io = Some(io);
         self
     }
 
@@ -102,6 +114,9 @@ impl View {
         }
         if let Some(s) = self.stats {
             planner = planner.stats(s);
+        }
+        if let Some(io) = self.io {
+            planner = planner.with_io(io);
         }
         planner
     }

@@ -1,17 +1,32 @@
-//! A named catalog of relations.
+//! A named catalog of relations, optionally operating under a memory budget.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use crate::{Relation, Result, StorageError};
+use smoke_pager::{BufferPool, ReplacementPolicy, SegmentStore, PAGE_SIZE};
+
+use crate::{PagedRelation, Relation, Result, StorageError};
 
 /// A simple in-memory catalog mapping relation names to [`Relation`]s.
 ///
 /// Base queries read base relations from a `Database`; derived outputs (views)
 /// can be registered back so that lineage-consuming queries can treat them as
 /// base queries in turn (paper §2.1).
+///
+/// By default every relation is fully resident. Setting a **memory budget**
+/// ([`Database::set_memory_budget`]) attaches a [`BufferPool`] to the
+/// catalog and transparently spills relations: every registered relation's
+/// numeric columns move to the pool's segment store, and at most
+/// `budget / PAGE_SIZE` pages of them are resident at any instant.
+/// Spilled relations are served via [`Database::paged_relation`]; looking
+/// one up through [`Database::relation`] yields the typed
+/// [`StorageError::RelationSpilled`] so in-RAM code paths cannot silently
+/// read a relation that no longer lives in RAM.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    paged: BTreeMap<String, PagedRelation>,
+    pool: Option<Arc<BufferPool>>,
 }
 
 impl Database {
@@ -20,56 +35,178 @@ impl Database {
         Database::default()
     }
 
-    /// Registers a relation under its own name. Fails on duplicates.
-    pub fn register(&mut self, relation: Relation) -> Result<()> {
-        let name = relation.name().to_string();
-        if self.relations.contains_key(&name) {
-            return Err(StorageError::DuplicateRelation(name));
+    /// Attaches a memory budget: a buffer pool of `budget_bytes / PAGE_SIZE`
+    /// frames (at least one) over a fresh temp-file segment store, using
+    /// `policy` for replacement. Relations already registered — and every
+    /// relation registered afterwards — are transparently spilled.
+    pub fn set_memory_budget(
+        &mut self,
+        budget_bytes: usize,
+        policy: ReplacementPolicy,
+    ) -> Result<()> {
+        let store = SegmentStore::temp("db")?;
+        self.attach_pool(store, budget_bytes, policy)
+    }
+
+    /// Like [`Database::set_memory_budget`] but backed by an in-memory
+    /// segment (tests, Miri runs).
+    pub fn set_memory_budget_in_memory(
+        &mut self,
+        budget_bytes: usize,
+        policy: ReplacementPolicy,
+    ) -> Result<()> {
+        self.attach_pool(SegmentStore::in_memory(), budget_bytes, policy)
+    }
+
+    fn attach_pool(
+        &mut self,
+        store: SegmentStore,
+        budget_bytes: usize,
+        policy: ReplacementPolicy,
+    ) -> Result<()> {
+        if self.pool.is_some() {
+            return Err(StorageError::Pager(
+                "memory budget already configured for this database".to_string(),
+            ));
         }
-        self.relations.insert(name, relation);
+        let budget_pages = (budget_bytes / PAGE_SIZE).max(1);
+        let pool = Arc::new(BufferPool::new(store, budget_pages, policy));
+        // Spill everything already registered.
+        let resident = std::mem::take(&mut self.relations);
+        for (name, relation) in resident {
+            let paged = PagedRelation::spill(&relation, &pool)?;
+            self.paged.insert(name, paged);
+        }
+        self.pool = Some(pool);
         Ok(())
     }
 
-    /// Registers or replaces a relation under its own name.
-    pub fn register_or_replace(&mut self, relation: Relation) {
-        self.relations.insert(relation.name().to_string(), relation);
+    /// The buffer pool serving spilled relations, if a budget is set.
+    pub fn pool(&self) -> Option<&Arc<BufferPool>> {
+        self.pool.as_ref()
     }
 
-    /// Looks up a relation by name.
+    /// Registers a relation under its own name. Fails on duplicates. With a
+    /// memory budget configured the relation is spilled on the way in.
+    pub fn register(&mut self, relation: Relation) -> Result<()> {
+        let name = relation.name().to_string();
+        if self.relations.contains_key(&name) || self.paged.contains_key(&name) {
+            return Err(StorageError::DuplicateRelation(name));
+        }
+        match &self.pool {
+            Some(pool) => {
+                let paged = PagedRelation::spill(&relation, pool)?;
+                self.paged.insert(name, paged);
+            }
+            None => {
+                self.relations.insert(name, relation);
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers or replaces a relation under its own name (spilling it
+    /// when a budget is configured).
+    pub fn register_or_replace(&mut self, relation: Relation) {
+        let name = relation.name().to_string();
+        match &self.pool {
+            Some(pool) => {
+                // Spill failures surface as a typed error from `register`;
+                // the replace variant keeps its infallible signature by
+                // falling back to resident storage if the spill fails.
+                match PagedRelation::spill(&relation, pool) {
+                    Ok(paged) => {
+                        self.relations.remove(&name);
+                        self.paged.insert(name, paged);
+                    }
+                    Err(_) => {
+                        self.paged.remove(&name);
+                        self.relations.insert(name, relation);
+                    }
+                }
+            }
+            None => {
+                self.relations.insert(name, relation);
+            }
+        }
+    }
+
+    /// Looks up a resident relation by name. Spilled relations yield
+    /// [`StorageError::RelationSpilled`] (use [`Database::paged_relation`]).
     pub fn relation(&self, name: &str) -> Result<&Relation> {
-        self.relations
+        match self.relations.get(name) {
+            Some(rel) => Ok(rel),
+            None if self.paged.contains_key(name) => {
+                Err(StorageError::RelationSpilled(name.to_string()))
+            }
+            None => Err(StorageError::UnknownRelation(name.to_string())),
+        }
+    }
+
+    /// Looks up a spilled relation by name.
+    pub fn paged_relation(&self, name: &str) -> Result<&PagedRelation> {
+        self.paged
             .get(name)
             .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
     }
 
-    /// Whether a relation with this name exists.
+    /// Whether `name` is registered and spilled to paged storage.
+    pub fn is_paged(&self, name: &str) -> bool {
+        self.paged.contains_key(name)
+    }
+
+    /// Whether a relation with this name exists (resident or spilled).
     pub fn contains(&self, name: &str) -> bool {
-        self.relations.contains_key(name)
+        self.relations.contains_key(name) || self.paged.contains_key(name)
     }
 
-    /// Names of all registered relations, sorted.
+    /// Names of all registered relations (resident and spilled), sorted.
     pub fn relation_names(&self) -> Vec<&str> {
-        self.relations.keys().map(String::as_str).collect()
+        let mut names: Vec<&str> = self
+            .relations
+            .keys()
+            .chain(self.paged.keys())
+            .map(String::as_str)
+            .collect();
+        names.sort_unstable();
+        names
     }
 
-    /// Number of registered relations.
+    /// Number of registered relations (resident and spilled).
     pub fn len(&self) -> usize {
-        self.relations.len()
+        self.relations.len() + self.paged.len()
     }
 
     /// Whether the catalog is empty.
     pub fn is_empty(&self) -> bool {
-        self.relations.is_empty()
+        self.relations.is_empty() && self.paged.is_empty()
     }
 
-    /// Removes a relation from the catalog, returning it if present.
+    /// Removes a resident relation from the catalog, returning it if
+    /// present. Spilled relations are removed with
+    /// [`Database::remove_paged`].
     pub fn remove(&mut self, name: &str) -> Option<Relation> {
         self.relations.remove(name)
     }
 
-    /// Total approximate heap footprint of all relations, in bytes.
+    /// Removes a spilled relation from the catalog.
+    pub fn remove_paged(&mut self, name: &str) -> Option<PagedRelation> {
+        self.paged.remove(name)
+    }
+
+    /// Total approximate heap footprint: resident relations in full, plus
+    /// the resident remainder (string columns, metadata) of spilled ones.
+    /// Frame memory is bounded by the pool budget and accounted separately.
     pub fn heap_bytes(&self) -> usize {
-        self.relations.values().map(Relation::heap_bytes).sum()
+        self.relations
+            .values()
+            .map(Relation::heap_bytes)
+            .sum::<usize>()
+            + self
+                .paged
+                .values()
+                .map(PagedRelation::heap_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -127,5 +264,51 @@ mod tests {
         let removed = db.remove("a").unwrap();
         assert_eq!(removed.name(), "a");
         assert!(db.remove("a").is_none());
+    }
+
+    #[test]
+    fn budget_spills_existing_and_future_registrations() {
+        let mut db = Database::new();
+        db.register(rel("a")).unwrap();
+        db.set_memory_budget_in_memory(PAGE_SIZE, ReplacementPolicy::Sieve)
+            .unwrap();
+        // Pre-existing relation was spilled.
+        assert!(db.is_paged("a"));
+        assert!(matches!(
+            db.relation("a"),
+            Err(StorageError::RelationSpilled(_))
+        ));
+        assert_eq!(db.paged_relation("a").unwrap().len(), 1);
+        // Future registrations spill on the way in.
+        db.register(rel("b")).unwrap();
+        assert!(db.is_paged("b"));
+        assert_eq!(db.relation_names(), vec!["a", "b"]);
+        assert_eq!(db.len(), 2);
+        assert!(db.contains("b"));
+        // Duplicate detection spans both maps.
+        assert!(matches!(
+            db.register(rel("a")),
+            Err(StorageError::DuplicateRelation(_))
+        ));
+        // Spilled relations round-trip through materialize.
+        let back = db.paged_relation("a").unwrap().materialize().unwrap();
+        assert_eq!(back.len(), 1);
+        // A second budget is rejected.
+        assert!(db
+            .set_memory_budget_in_memory(PAGE_SIZE, ReplacementPolicy::Sieve)
+            .is_err());
+    }
+
+    #[test]
+    fn register_or_replace_spills_under_budget() {
+        let mut db = Database::new();
+        db.set_memory_budget_in_memory(PAGE_SIZE, ReplacementPolicy::Clock)
+            .unwrap();
+        db.register_or_replace(rel("a"));
+        assert!(db.is_paged("a"));
+        db.register_or_replace(rel("a"));
+        assert_eq!(db.len(), 1);
+        assert!(db.remove_paged("a").is_some());
+        assert!(db.is_empty());
     }
 }

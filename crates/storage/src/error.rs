@@ -41,6 +41,12 @@ pub enum StorageError {
     DuplicateRelation(String),
     /// A duplicate column name was declared in a schema.
     DuplicateColumn(String),
+    /// The relation exists but was spilled to paged storage; callers must
+    /// use the paged execution path ([`crate::Database::paged_relation`]).
+    RelationSpilled(String),
+    /// A paged-storage operation failed (wrapped `smoke_pager` error or
+    /// paging-specific misuse, flattened to keep this enum `Clone + Eq`).
+    Pager(String),
 }
 
 impl fmt::Display for StorageError {
@@ -73,6 +79,13 @@ impl fmt::Display for StorageError {
             StorageError::DuplicateColumn(name) => {
                 write!(f, "duplicate column `{name}` in schema")
             }
+            StorageError::RelationSpilled(name) => {
+                write!(
+                    f,
+                    "relation `{name}` is spilled to paged storage; use the paged execution path"
+                )
+            }
+            StorageError::Pager(msg) => write!(f, "paged storage failure: {msg}"),
         }
     }
 }

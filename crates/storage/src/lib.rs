@@ -36,6 +36,7 @@ mod database;
 mod error;
 pub mod kernels;
 pub mod morsel;
+pub mod paged;
 mod relation;
 mod rid;
 mod schema;
@@ -46,6 +47,7 @@ pub use database::Database;
 pub use error::StorageError;
 pub use kernels::{KernelCmp, SelectionMask};
 pub use morsel::{align_morsel_rows, morsels, Morsel, DEFAULT_MORSEL_ROWS};
+pub use paged::{PagedRelation, DEFAULT_CHUNK_ROWS, ROWS_PER_PAGE};
 pub use relation::{Relation, RelationBuilder, RowRef};
 pub use rid::{Rid, RidVec};
 pub use schema::{Field, Schema};

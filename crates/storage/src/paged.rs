@@ -1,0 +1,516 @@
+//! Paged columnar storage: relations spilled to a [`BufferPool`]-backed
+//! segment store.
+//!
+//! A [`PagedRelation`] keeps the relation's *numeric* columns (`Int`,
+//! `Float`) out of core: each column is a contiguous run of
+//! [`PAGE_SIZE`]-byte pages holding [`ROWS_PER_PAGE`] fixed-width 8-byte
+//! little-endian values. `Str` columns stay resident — variable-width heap
+//! data needs its own page format and the workloads this engine targets
+//! (zipfian microbenchmarks, crossfilter dashboards) key and aggregate on
+//! numeric attributes.
+//!
+//! Execution over a paged relation is *chunked*: operators materialize
+//! page-aligned row ranges ([`PagedRelation::chunk`]) into transient
+//! in-memory [`Relation`]s and run the existing vectorized `*_range`
+//! kernels over them. A chunk materialization pins at most one page at a
+//! time per column, so any pool budget — including a single page — can
+//! execute any query; smaller budgets just evict harder. Trace-time row
+//! fetches use [`PagedRelation::gather`], which pins only the pages the
+//! requested rids actually touch — this is what makes partition pruning
+//! skip physical reads, not just rid scans.
+//!
+//! `ROWS_PER_PAGE` (1024) is a multiple of the 64-row morsel alignment, so
+//! chunk boundaries are always valid morsel boundaries.
+
+use std::sync::Arc;
+
+use smoke_pager::{BufferPool, PageId, PagerError, PAGE_SIZE};
+
+use crate::{Column, DataType, Relation, Result, Rid, Schema, StorageError};
+
+/// Fixed-width 8-byte values stored per page.
+pub const ROWS_PER_PAGE: usize = PAGE_SIZE / 8;
+
+/// Default number of rows an operator materializes per chunk (64 pages per
+/// numeric column).
+pub const DEFAULT_CHUNK_ROWS: usize = 64 * ROWS_PER_PAGE;
+
+impl From<PagerError> for StorageError {
+    fn from(err: PagerError) -> Self {
+        StorageError::Pager(err.to_string())
+    }
+}
+
+/// One column of a paged relation: either a run of pages or a resident
+/// in-memory column.
+#[derive(Debug, Clone)]
+enum PagedSlot {
+    /// `Int` or `Float` values as fixed-width 8-byte LE pages starting at
+    /// `first_page` (the data type lives in the schema).
+    Fixed {
+        /// First page of this column's contiguous run.
+        first_page: PageId,
+    },
+    /// A column kept in RAM (`Str`).
+    Resident(Column),
+}
+
+/// A relation whose numeric columns live in a [`BufferPool`]-backed segment
+/// store rather than RAM.
+#[derive(Debug, Clone)]
+pub struct PagedRelation {
+    name: String,
+    schema: Schema,
+    slots: Vec<PagedSlot>,
+    len: usize,
+    pool: Arc<BufferPool>,
+}
+
+impl PagedRelation {
+    /// Spills `relation` into `pool`'s segment store. Numeric columns are
+    /// written page-by-page directly to the store (bypassing the pool so a
+    /// bulk load cannot evict a working set); `Str` columns stay resident.
+    pub fn spill(relation: &Relation, pool: &Arc<BufferPool>) -> Result<PagedRelation> {
+        let len = relation.len();
+        let pages_per_col = len.div_ceil(ROWS_PER_PAGE) as u32;
+        let mut slots = Vec::with_capacity(relation.columns().len());
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for column in relation.columns() {
+            let slot = match column {
+                Column::Int(values) => {
+                    let first_page = pool.allocate(pages_per_col);
+                    write_fixed(
+                        pool,
+                        first_page,
+                        &mut buf,
+                        values.iter().map(|v| v.to_le_bytes()),
+                    )?;
+                    PagedSlot::Fixed { first_page }
+                }
+                Column::Float(values) => {
+                    let first_page = pool.allocate(pages_per_col);
+                    write_fixed(
+                        pool,
+                        first_page,
+                        &mut buf,
+                        values.iter().map(|v| v.to_le_bytes()),
+                    )?;
+                    PagedSlot::Fixed { first_page }
+                }
+                Column::Str(_) => PagedSlot::Resident(column.clone()),
+            };
+            slots.push(slot);
+        }
+        Ok(PagedRelation {
+            name: relation.name().to_string(),
+            schema: relation.schema().clone(),
+            slots,
+            len,
+            pool: Arc::clone(pool),
+        })
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer pool this relation reads through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Number of paged (numeric) columns.
+    pub fn paged_columns(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, PagedSlot::Fixed { .. }))
+            .count()
+    }
+
+    /// Pages each paged column occupies.
+    pub fn pages_per_column(&self) -> u32 {
+        self.len.div_ceil(ROWS_PER_PAGE) as u32
+    }
+
+    /// Total pages across all paged columns — the relation's on-disk
+    /// footprint in pages (the planner's full-scan I/O estimate).
+    pub fn total_pages(&self) -> u32 {
+        self.pages_per_column() * self.paged_columns() as u32
+    }
+
+    /// Materializes rows `[start, end)` of every column as a transient
+    /// in-memory [`Relation`] (named like the source so column lookups and
+    /// key extraction behave identically). Pins at most one page at a time.
+    pub fn chunk(&self, start: usize, end: usize) -> Result<Relation> {
+        let columns: Result<Vec<Column>> = (0..self.slots.len())
+            .map(|c| self.decode_range(c, start, end))
+            .collect();
+        Relation::from_columns(self.name.clone(), self.schema.clone(), columns?)
+    }
+
+    /// Materializes rows `[start, end)` of one column. For paged columns
+    /// this pins each covering page once; resident columns are sliced.
+    pub fn decode_range(&self, col: usize, start: usize, end: usize) -> Result<Column> {
+        let end = end.min(self.len);
+        let start = start.min(end);
+        let slot = self
+            .slots
+            .get(col)
+            .ok_or_else(|| StorageError::UnknownColumn {
+                column: format!("#{col}"),
+                relation: self.name.clone(),
+            })?;
+        let dtype = self.schema.field(col).data_type;
+        match slot {
+            PagedSlot::Resident(column) => Ok(slice_column(column, start, end)),
+            PagedSlot::Fixed { first_page } => match dtype {
+                DataType::Int => {
+                    let mut out: Vec<i64> = Vec::with_capacity(end - start);
+                    self.scan_fixed(*first_page, start, end, |bytes| {
+                        out.push(i64::from_le_bytes(bytes));
+                    })?;
+                    Ok(Column::Int(out))
+                }
+                DataType::Float => {
+                    let mut out: Vec<f64> = Vec::with_capacity(end - start);
+                    self.scan_fixed(*first_page, start, end, |bytes| {
+                        out.push(f64::from_le_bytes(bytes));
+                    })?;
+                    Ok(Column::Float(out))
+                }
+                DataType::Str => Err(StorageError::Pager(format!(
+                    "string column #{col} of `{}` cannot be paged",
+                    self.name
+                ))),
+            },
+        }
+    }
+
+    /// Streams the 8-byte values of rows `[start, end)` from the page run
+    /// starting at `first_page`, pinning each covering page exactly once.
+    fn scan_fixed(
+        &self,
+        first_page: PageId,
+        start: usize,
+        end: usize,
+        mut emit: impl FnMut([u8; 8]),
+    ) -> Result<()> {
+        let mut rid = start;
+        while rid < end {
+            let page_no = rid / ROWS_PER_PAGE;
+            let page_end = ((page_no + 1) * ROWS_PER_PAGE).min(end);
+            let guard = self.pool.pin(PageId(first_page.0 + page_no as u32))?;
+            let lo = (rid % ROWS_PER_PAGE) * 8;
+            let hi = lo + (page_end - rid) * 8;
+            for bytes in guard[lo..hi].chunks_exact(8) {
+                emit(bytes.try_into().expect("chunks_exact yields 8-byte slices"));
+            }
+            rid = page_end;
+        }
+        Ok(())
+    }
+
+    /// Materializes the rows named by `rids` (in order, duplicates allowed)
+    /// as an in-memory relation — the paged twin of [`Relation::gather`].
+    /// Only the pages containing requested rids are pinned; a run of rids on
+    /// one page reuses a single pin. Near-sorted rid lists (the common shape
+    /// of lineage results) therefore touch each page once.
+    pub fn gather(&self, rids: &[Rid], name: impl Into<String>) -> Result<Relation> {
+        let mut columns = Vec::with_capacity(self.slots.len());
+        for (c, slot) in self.slots.iter().enumerate() {
+            let column = match slot {
+                PagedSlot::Resident(column) => column.gather(rids),
+                PagedSlot::Fixed { first_page } => match self.schema.field(c).data_type {
+                    DataType::Int => {
+                        let mut out: Vec<i64> = Vec::with_capacity(rids.len());
+                        self.gather_fixed(*first_page, rids, |bytes| {
+                            out.push(i64::from_le_bytes(bytes));
+                        })?;
+                        Column::Int(out)
+                    }
+                    DataType::Float => {
+                        let mut out: Vec<f64> = Vec::with_capacity(rids.len());
+                        self.gather_fixed(*first_page, rids, |bytes| {
+                            out.push(f64::from_le_bytes(bytes));
+                        })?;
+                        Column::Float(out)
+                    }
+                    DataType::Str => {
+                        return Err(StorageError::Pager(format!(
+                            "string column #{c} of `{}` cannot be paged",
+                            self.name
+                        )))
+                    }
+                },
+            };
+            columns.push(column);
+        }
+        Relation::from_columns(name, self.schema.clone(), columns)
+    }
+
+    /// Fetches the 8-byte value of each rid in `rids`, keeping the current
+    /// page pinned across consecutive rids that land on it.
+    fn gather_fixed(
+        &self,
+        first_page: PageId,
+        rids: &[Rid],
+        mut emit: impl FnMut([u8; 8]),
+    ) -> Result<()> {
+        let mut current: Option<(usize, smoke_pager::PageGuard<'_>)> = None;
+        for &rid in rids {
+            let rid = rid as usize;
+            if rid >= self.len {
+                return Err(StorageError::Pager(format!(
+                    "rid {rid} out of bounds for `{}` (len {})",
+                    self.name, self.len
+                )));
+            }
+            let page_no = rid / ROWS_PER_PAGE;
+            if !matches!(&current, Some((p, _)) if *p == page_no) {
+                // Release the previous pin *before* acquiring the next one,
+                // so a budget of a single frame can always make progress.
+                drop(current.take());
+                let g = self.pool.pin(PageId(first_page.0 + page_no as u32))?;
+                current = Some((page_no, g));
+            }
+            let Some((_, guard)) = &current else {
+                continue; // unreachable: just pinned above
+            };
+            let lo = (rid % ROWS_PER_PAGE) * 8;
+            emit(
+                guard[lo..lo + 8]
+                    .try_into()
+                    .expect("8-byte slice within a page"),
+            );
+        }
+        Ok(())
+    }
+
+    /// The distinct pages of one paged column that `rids` touch. Used by
+    /// tests and benches to assert pruning reads strictly fewer pages.
+    pub fn pages_touched(&self, rids: &[Rid]) -> usize {
+        let mut pages: Vec<usize> = rids.iter().map(|&r| r as usize / ROWS_PER_PAGE).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        pages.len()
+    }
+
+    /// Fraction of this relation's data pages currently resident in the
+    /// buffer pool, in `[0, 1]`. The planner's I/O cost term uses this to
+    /// discount reads that a warm pool already absorbed. Relations with no
+    /// paged columns report `1.0` (nothing would ever hit disk).
+    pub fn resident_fraction(&self) -> f64 {
+        let per_col = self.pages_per_column();
+        let pages: Vec<PageId> = self
+            .slots
+            .iter()
+            .filter_map(|s| match s {
+                PagedSlot::Fixed { first_page } => Some(*first_page),
+                PagedSlot::Resident(_) => None,
+            })
+            .flat_map(|first| (0..per_col).map(move |p| PageId(first.0 + p)))
+            .collect();
+        self.pool.resident_fraction(&pages)
+    }
+
+    /// Reads the whole relation back into RAM (the inverse of
+    /// [`PagedRelation::spill`]).
+    pub fn materialize(&self) -> Result<Relation> {
+        self.chunk(0, self.len)
+    }
+
+    /// Approximate resident heap footprint: resident (string) columns plus
+    /// metadata. The paged columns' bytes live in the segment store and are
+    /// bounded by the pool budget, not counted here.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                PagedSlot::Resident(c) => c.heap_bytes(),
+                PagedSlot::Fixed { .. } => std::mem::size_of::<PagedSlot>(),
+            })
+            .sum()
+    }
+}
+
+/// Writes an iterator of fixed-width 8-byte values as a page run starting at
+/// `first_page`, directly to the store (no pool residency).
+fn write_fixed(
+    pool: &BufferPool,
+    first_page: PageId,
+    buf: &mut [u8],
+    values: impl Iterator<Item = [u8; 8]>,
+) -> Result<()> {
+    let mut page = 0u32;
+    let mut filled = 0usize;
+    for value in values {
+        buf[filled..filled + 8].copy_from_slice(&value);
+        filled += 8;
+        if filled == PAGE_SIZE {
+            pool.store().write_page(PageId(first_page.0 + page), buf)?;
+            page += 1;
+            filled = 0;
+        }
+    }
+    if filled > 0 {
+        buf[filled..].fill(0);
+        pool.store().write_page(PageId(first_page.0 + page), buf)?;
+    }
+    Ok(())
+}
+
+/// Clones rows `[start, end)` of a resident column.
+fn slice_column(column: &Column, start: usize, end: usize) -> Column {
+    match column {
+        Column::Int(v) => Column::Int(v[start..end].to_vec()),
+        Column::Float(v) => Column::Float(v[start..end].to_vec()),
+        Column::Str(v) => Column::Str(v[start..end].to_vec()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+    use smoke_pager::{ReplacementPolicy, SegmentStore};
+
+    fn test_pool(budget: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(
+            SegmentStore::in_memory(),
+            budget,
+            ReplacementPolicy::Sieve,
+        ))
+    }
+
+    fn sample(rows: usize) -> Relation {
+        let mut b = Relation::builder("t")
+            .column("id", DataType::Int)
+            .column("v", DataType::Float)
+            .column("tag", DataType::Str);
+        for i in 0..rows {
+            b = b.row(vec![
+                Value::Int(i as i64),
+                Value::Float(i as f64 * 0.5),
+                Value::Str(format!("tag{}", i % 3)),
+            ]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn spill_and_materialize_round_trip() {
+        // 2500 rows spans 3 pages per numeric column.
+        let rel = sample(2500);
+        let pool = test_pool(2);
+        let paged = PagedRelation::spill(&rel, &pool).unwrap();
+        assert_eq!(paged.len(), 2500);
+        assert_eq!(paged.pages_per_column(), 3);
+        assert_eq!(paged.paged_columns(), 2);
+        assert_eq!(paged.total_pages(), 6);
+        let back = paged.materialize().unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn chunks_cross_page_boundaries() {
+        let rel = sample(2500);
+        let pool = test_pool(1); // budget of one page still executes
+        let paged = PagedRelation::spill(&rel, &pool).unwrap();
+        let chunk = paged.chunk(1000, 1100).unwrap();
+        assert_eq!(chunk.len(), 100);
+        assert_eq!(chunk.value(0, 0), Value::Int(1000));
+        assert_eq!(chunk.value(99, 1), Value::Float(1099.0 * 0.5));
+        assert_eq!(chunk.value(50, 2), Value::Str("tag0".into()));
+        // End is clamped to the relation length.
+        assert_eq!(paged.chunk(2400, 9999).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn gather_matches_in_memory_gather() {
+        let rel = sample(2500);
+        let pool = test_pool(2);
+        let paged = PagedRelation::spill(&rel, &pool).unwrap();
+        let rids: Vec<Rid> = vec![0, 7, 7, 1023, 1024, 2499];
+        let expect = rel.gather(&rids, "g");
+        let got = paged.gather(&rids, "g").unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn gather_touches_only_needed_pages() {
+        let rel = sample(4096); // 4 pages per numeric column
+        let pool = test_pool(8);
+        let paged = PagedRelation::spill(&rel, &pool).unwrap();
+        pool.reset_stats();
+        // All rids on one page: 2 numeric columns → 2 page reads.
+        paged.gather(&[2048, 2049, 2050], "g").unwrap();
+        assert_eq!(pool.stats().disk_reads, 2);
+        assert_eq!(paged.pages_touched(&[2048, 2049, 2050]), 1);
+        assert_eq!(paged.pages_touched(&[0, 1024, 2048, 3072]), 4);
+    }
+
+    #[test]
+    fn out_of_bounds_gather_is_a_typed_error() {
+        let rel = sample(10);
+        let pool = test_pool(2);
+        let paged = PagedRelation::spill(&rel, &pool).unwrap();
+        assert!(matches!(
+            paged.gather(&[99], "g"),
+            Err(StorageError::Pager(_))
+        ));
+    }
+
+    #[test]
+    fn float_bits_survive_the_round_trip() {
+        let mut b = Relation::builder("f").column("v", DataType::Float);
+        for v in [0.0, -0.0, f64::MIN, f64::MAX, f64::NAN, 1e-300] {
+            b = b.row(vec![Value::Float(v)]);
+        }
+        let rel = b.build().unwrap();
+        let pool = test_pool(1);
+        let paged = PagedRelation::spill(&rel, &pool).unwrap();
+        let back = paged.materialize().unwrap();
+        let bits: Vec<u64> = back
+            .column(0)
+            .as_float()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let expect: Vec<u64> = rel
+            .column(0)
+            .as_float()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(bits, expect);
+    }
+
+    #[test]
+    fn empty_relation_spills_to_zero_pages() {
+        let rel = Relation::builder("e")
+            .column("x", DataType::Int)
+            .build()
+            .unwrap();
+        let pool = test_pool(1);
+        let paged = PagedRelation::spill(&rel, &pool).unwrap();
+        assert_eq!(paged.total_pages(), 0);
+        assert!(paged.is_empty());
+        assert_eq!(paged.materialize().unwrap().len(), 0);
+    }
+}
