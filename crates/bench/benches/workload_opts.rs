@@ -9,6 +9,7 @@ fn bench(c: &mut Criterion) {
         factor: 0.3,
         runs: 1,
         warmup: 0,
+        budget_bytes: None,
     };
     group.bench_function("fig10_data_skipping_suite", |b| {
         b.iter(|| tpch_exp::fig10(&scale))

@@ -2,20 +2,25 @@
 //! baseline and flags latency and footprint regressions.
 //!
 //! ```text
-//! bench_compare <baseline.json> <fresh.json> [--threshold 2.0] [--floor-ms 0.05] [--floor-bytes 4096]
+//! bench_compare <baseline.json> <fresh.json> [--threshold 2.0] [--floor-ms 0.05]
+//!               [--floor-bytes 4096] [--floor-count 64]
 //! ```
 //!
 //! Rows are keyed on `(experiment, config, technique, metric)`; timing
-//! metrics (`*_ms`) and footprint metrics (`*_bytes`) are compared —
-//! counters, ratios, and cost estimates are structural and checked for
-//! presence only. A fresh value more than `threshold ×` the baseline (with
-//! both above the matching noise floor: `--floor-ms` for timings,
-//! `--floor-bytes` for footprints) is a regression: it is printed as a
-//! GitHub Actions `::warning::` annotation and the exit code is 1, which CI
-//! attaches to a `continue-on-error` step so regressions annotate the run
-//! without blocking it. Byte metrics are deterministic, so a blown-up
-//! `lineage_bytes` (say, compression silently falling back to raw blocks)
-//! trips the same wire as a slow kernel. A missing or unreadable baseline
+//! metrics (`*_ms`), footprint metrics (`*_bytes`), and I/O count metrics
+//! (`*_reads`/`*_writes`, `evictions`, `prefetch_wasted`) are compared —
+//! other counters, ratios, and cost estimates are structural and checked
+//! for presence only. A fresh value more than `threshold ×` the baseline
+//! (with both above the matching noise floor: `--floor-ms` for timings,
+//! `--floor-bytes` for footprints, `--floor-count` for I/O counts) is a
+//! regression: it is printed as a GitHub Actions `::warning::` annotation
+//! and the exit code is 1, which CI attaches to a `continue-on-error` step
+//! so regressions annotate the run without blocking it. Byte and count
+//! metrics are deterministic, so a blown-up `lineage_bytes` (compression
+//! silently falling back to raw blocks) or a doubled `disk_reads` (a policy
+//! or prefetcher losing its residency) trips the same wire as a slow
+//! kernel. Count metrics that are *good* when they grow (`prefetch_hits`,
+//! `hit_rate`) are deliberately excluded. A missing or unreadable baseline
 //! exits 0 (first run of a new experiment).
 //!
 //! Exit codes: `0` — no regressions, or no usable baseline to compare
@@ -63,6 +68,7 @@ fn main() -> ExitCode {
     let mut threshold = 2.0f64;
     let mut floor_ms = 0.05f64;
     let mut floor_bytes = 4096.0f64;
+    let mut floor_count = 64.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -87,13 +93,20 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--floor-count" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => floor_count = v,
+                None => {
+                    eprintln!("--floor-count requires a number");
+                    return ExitCode::from(2);
+                }
+            },
             other => positional.push(other.to_string()),
         }
     }
     let [baseline_path, fresh_path] = positional.as_slice() else {
         eprintln!(
             "usage: bench_compare <baseline.json> <fresh.json> \
-             [--threshold X] [--floor-ms Y] [--floor-bytes Z]"
+             [--threshold X] [--floor-ms Y] [--floor-bytes Z] [--floor-count W]"
         );
         return ExitCode::from(2);
     };
@@ -120,12 +133,23 @@ fn main() -> ExitCode {
     for (key, &base) in &baseline {
         let (exp, config, technique, metric) = key;
         // Timings regress with noise floors in milliseconds; footprints
-        // (`lineage_bytes`, `raw_bytes`, …) with a floor in bytes. Anything
-        // else is structural.
+        // (`lineage_bytes`, `raw_bytes`, …) with a floor in bytes; I/O
+        // counts (`disk_reads`, `evictions`, `prefetch_wasted`, …) with an
+        // absolute count floor — tiny-scale runs jitter by a handful of
+        // pages, which a ratio test would misread as a blow-up. Anything
+        // else is structural. Only counts that are bad-when-larger qualify:
+        // `prefetch_hits`/`hit_rate` shrinking is a regression too, but in
+        // the other direction, and this tool only flags growth.
+        let is_count = metric.ends_with("_reads")
+            || metric.ends_with("_writes")
+            || metric == "evictions"
+            || metric == "prefetch_wasted";
         let (floor, unit) = if metric.ends_with("_ms") {
             (floor_ms, "ms")
         } else if metric.ends_with("_bytes") {
             (floor_bytes, "B")
+        } else if is_count {
+            (floor_count, "ops")
         } else {
             continue;
         };
@@ -152,7 +176,7 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "compared {compared} timing/footprint rows against {baseline_path}: \
+        "compared {compared} timing/footprint/count rows against {baseline_path}: \
          {regressions} regression(s)"
     );
     if regressions > 0 {

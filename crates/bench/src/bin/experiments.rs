@@ -4,7 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [<experiment>...|all] [--scale <factor>] [--runs <n>] [--json <path>]
+//! experiments [<experiment>...|all] [--scale <factor>] [--runs <n>]
+//!             [--budget-bytes <n>] [--json <path>]
 //! ```
 //!
 //! Run `experiments --help` for the experiment list (it is generated from
@@ -191,6 +192,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--runs requires an integer");
             }
+            "--budget-bytes" => {
+                i += 1;
+                scale.budget_bytes = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--budget-bytes requires a byte count"),
+                );
+            }
             other => which.push(other.to_string()),
         }
         i += 1;
@@ -222,7 +231,8 @@ fn main() {
 
 fn print_usage() {
     println!(
-        "Usage: experiments [<experiment>...|all] [--scale <factor>] [--runs <n>] [--json <path>]"
+        "Usage: experiments [<experiment>...|all] [--scale <factor>] [--runs <n>] \
+         [--budget-bytes <n>] [--json <path>]"
     );
     println!();
     println!("Experiments:");
@@ -238,6 +248,9 @@ fn print_usage() {
          Options:\n\
          \x20 --scale <factor>  multiply every default dataset size\n\
          \x20 --runs <n>        timed runs per measurement\n\
+         \x20 --budget-bytes <n> absolute buffer-pool budget for `paged`\n\
+         \x20                   (default: 25% of the paged column bytes; the\n\
+         \x20                   nightly 100M leg runs `--scale 10` with a fixed cap)\n\
          \x20 --json <path>     additionally write all rows to a JSON file\n\
          \x20                   (the CI BENCH_*.json artifacts are produced this way,\n\
          \x20                   e.g. `experiments parallel --json BENCH_parallel.json`)"

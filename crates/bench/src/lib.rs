@@ -195,6 +195,12 @@ pub struct Scale {
     pub runs: usize,
     /// Warm-up runs excluded from the mean.
     pub warmup: usize,
+    /// Absolute buffer-pool budget in bytes for the out-of-core experiments
+    /// (`--budget-bytes`). `None` sizes the pool as a fraction of the data
+    /// instead ([`paged_exp::BUDGET_FRACTION`]) — the fraction tracks the
+    /// dataset as `--scale` grows, while an absolute cap models a fixed
+    /// machine, which is what the 100M-row nightly leg exercises.
+    pub budget_bytes: Option<usize>,
 }
 
 impl Default for Scale {
@@ -203,6 +209,7 @@ impl Default for Scale {
             factor: 1.0,
             runs: 3,
             warmup: 1,
+            budget_bytes: None,
         }
     }
 }
@@ -214,6 +221,7 @@ impl Scale {
             factor: 0.05,
             runs: 1,
             warmup: 0,
+            budget_bytes: None,
         }
     }
 

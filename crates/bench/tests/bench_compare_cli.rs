@@ -220,6 +220,81 @@ fn bytes_below_floor_are_noise() {
 }
 
 #[test]
+fn count_regression_beyond_threshold_exits_one() {
+    // `disk_reads` tripling (e.g. the prefetcher losing residency or a
+    // policy evicting its own working set) is a deterministic regression.
+    let base = scratch(
+        "count",
+        "base.json",
+        &format!("[{}]", row("disk_reads", 10_000.0)),
+    );
+    let fresh = scratch(
+        "count",
+        "fresh.json",
+        &format!("[{}]", row("disk_reads", 30_000.0)),
+    );
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("::warning"), "{stdout}");
+    assert!(stdout.contains("30000.000ops"), "{stdout}");
+}
+
+#[test]
+fn counts_below_floor_are_noise() {
+    // A handful of extra evictions at tiny scale is page-boundary jitter,
+    // not a regression; --floor-count raises (or lowers) that bar.
+    let base = scratch(
+        "countfloor",
+        "base.json",
+        &format!("[{}]", row("evictions", 8.0)),
+    );
+    let fresh = scratch(
+        "countfloor",
+        "fresh.json",
+        &format!("[{}]", row("evictions", 60.0)),
+    );
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    let (strict, stdout, _) = run(&[
+        base.to_str().unwrap(),
+        fresh.to_str().unwrap(),
+        "--floor-count",
+        "4",
+    ]);
+    assert_eq!(strict, 1, "{stdout}");
+}
+
+#[test]
+fn prefetch_wasted_is_compared_but_prefetch_hits_is_structural() {
+    // Wasted prefetches growing is a regression; hit counts growing is an
+    // improvement and must never trip the wire.
+    let rows = |wasted: f64, hits: f64| {
+        format!(
+            "[{},{}]",
+            row("prefetch_wasted", wasted),
+            row("prefetch_hits", hits)
+        )
+    };
+    let base = scratch("wasted", "base.json", &rows(100.0, 100.0));
+    let fresh = scratch("wasted", "fresh.json", &rows(1_000.0, 100_000.0));
+    let (code, stdout, _) = run(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("prefetch_wasted"), "{stdout}");
+    assert!(!stdout.contains("prefetch_hits"), "{stdout}");
+    assert!(stdout.contains("1 regression(s)"), "{stdout}");
+}
+
+#[test]
+fn non_numeric_floor_count_exits_two() {
+    let (code, _, stderr) = run(&["a.json", "b.json", "--floor-count", "lots"]);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("--floor-count requires a number"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn non_numeric_floor_bytes_exits_two() {
     let (code, _, stderr) = run(&["a.json", "b.json", "--floor-bytes", "big"]);
     assert_eq!(code, 2);

@@ -118,6 +118,9 @@ pub struct JoinResult {
     pub output_rows: usize,
     /// Whether the build side turned out to be unique (pk-fk join).
     pub pk_fk: bool,
+    /// How many grace-hash partitions the join spilled into; `1` means the
+    /// build side fit the budget and the join ran fully resident.
+    pub grace_partitions: usize,
     /// Capture statistics.
     pub stats: CaptureStats,
 }
@@ -385,6 +388,7 @@ fn hash_join_keyed<K: Eq + std::hash::Hash>(
             lineage: OperatorLineage::none(),
             output_rows: out_counter,
             pk_fk,
+            grace_partitions: 1,
             stats: CaptureStats {
                 base_query,
                 ..Default::default()
@@ -448,6 +452,7 @@ fn hash_join_keyed<K: Eq + std::hash::Hash>(
         ),
         output_rows: out_counter,
         pk_fk,
+        grace_partitions: 1,
         stats,
     })
 }

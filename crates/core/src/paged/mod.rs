@@ -20,6 +20,10 @@
 //! pages per column)
 //! amortizes per-chunk setup while keeping the transient chunk small.
 
+mod grace;
+
+pub use grace::{paged_grace_hash_join, BUILD_BYTES_PER_ROW, MAX_GRACE_PARTITIONS};
+
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -86,6 +90,7 @@ pub fn paged_select(
 
     let mut ctr_o: Rid = 0;
     for (cs, ce) in chunk_bounds(n, chunk_rows) {
+        input.prefetch_rows(ce, ce + chunk_rows);
         let chunk = input.chunk(cs, ce)?;
         let kernel = if opts.use_kernels {
             KernelPlan::compile(predicate, &chunk)
@@ -216,6 +221,7 @@ pub fn paged_group_by(
     };
 
     for (cs, ce) in chunk_bounds(n, chunk_rows) {
+        input.prefetch_rows(ce, ce + chunk_rows);
         let chunk = input.chunk(cs, ce)?;
         let extractor = KeyExtractor::new(&chunk, keys)?;
         let agg_inputs = AggInputs::resolve(&chunk, aggs)?;
@@ -384,6 +390,7 @@ pub fn paged_group_by(
             forward = RidArray::filled(n);
         }
         for (cs, ce) in chunk_bounds(n, chunk_rows) {
+            input.prefetch_rows(ce, ce + chunk_rows);
             let chunk = input.chunk(cs, ce)?;
             let extractor = KeyExtractor::new(&chunk, keys)?;
             let pushdown_mask = match &wl.selection_pushdown {
@@ -460,6 +467,12 @@ struct PagedBuildEntry {
 /// the probe phase streams right chunks against it. Rid-for-rid equivalent
 /// to [`crate::ops::join::hash_join`] on the materialized relations, for
 /// every capture mode.
+///
+/// When the estimated build table would dwarf the build side's pool budget
+/// (and the keys are numeric), the join transparently switches to the
+/// [grace-hash spilling path](paged_grace_hash_join) — same outputs, same
+/// lineage, bounded memory; [`JoinResult::grace_partitions`] reports which
+/// path ran.
 pub fn paged_hash_join(
     left: &PagedRelation,
     right: &PagedRelation,
@@ -468,6 +481,11 @@ pub fn paged_hash_join(
     opts: &JoinOptions,
     chunk_rows: usize,
 ) -> Result<JoinResult> {
+    if let Some(partitions) = grace::grace_plan(left, right, left_keys, right_keys) {
+        return paged_grace_hash_join(
+            left, right, left_keys, right_keys, opts, chunk_rows, partitions,
+        );
+    }
     let start = Instant::now();
     let chunk_rows = align_chunk(chunk_rows);
 
@@ -486,6 +504,7 @@ pub fn paged_hash_join(
     let mut ht: HashMap<HashKey, PagedBuildEntry> = HashMap::new();
     let mut pk_fk = true;
     for (cs, ce) in chunk_bounds(left.len(), chunk_rows) {
+        left.prefetch_rows(ce, ce + chunk_rows);
         let chunk = left.chunk(cs, ce)?;
         let extractor = KeyExtractor::new(&chunk, left_keys)?;
         for local in 0..chunk.len() {
@@ -530,6 +549,7 @@ pub fn paged_hash_join(
     // ⋈probe: probe phase over streamed right chunks.
     let mut out_counter: usize = 0;
     for (cs, ce) in chunk_bounds(right.len(), chunk_rows) {
+        right.prefetch_rows(ce, ce + chunk_rows);
         let chunk = right.chunk(cs, ce)?;
         let extractor = KeyExtractor::new(&chunk, right_keys)?;
         for local in 0..chunk.len() {
@@ -638,6 +658,7 @@ pub fn paged_hash_join(
             lineage: OperatorLineage::none(),
             output_rows: out_counter,
             pk_fk,
+            grace_partitions: 1,
             stats: CaptureStats {
                 base_query,
                 ..Default::default()
@@ -700,6 +721,7 @@ pub fn paged_hash_join(
         ),
         output_rows: out_counter,
         pk_fk,
+        grace_partitions: 1,
         stats,
     })
 }
@@ -853,6 +875,7 @@ mod tests {
         ] {
             let ram = hash_join(&left, &right, &lk, &rk, &opts).unwrap();
             let out = paged_hash_join(&lp, &rp, &lk, &rk, &opts, 1024).unwrap();
+            assert_eq!(out.grace_partitions, 1, "small build side stays resident");
             assert_eq!(out.output, ram.output);
             assert_eq!(out.output_rows, ram.output_rows);
             assert_eq!(out.pk_fk, ram.pk_fk);
@@ -885,6 +908,144 @@ mod tests {
         for opts in [JoinOptions::inject(), JoinOptions::defer()] {
             let ram = hash_join(&left, &right, &k, &k, &opts).unwrap();
             let out = paged_hash_join(&lp, &rp, &k, &k, &opts, 1024).unwrap();
+            assert!(!out.pk_fk);
+            assert_eq!(out.output, ram.output);
+            assert_same_lineage(
+                &out.lineage,
+                &ram.lineage,
+                &[left.len(), right.len()],
+                ram.output_rows,
+            );
+        }
+    }
+
+    #[test]
+    fn grace_join_engages_over_budget_and_matches_in_ram() {
+        // 1000 build rows × 48 bytes ≫ a one-frame budget, so the join
+        // auto-dispatches to the grace path; 2500 probe rows with 7 distinct
+        // keys make it M:N.
+        let mut b = Relation::builder("dims")
+            .column("id", DataType::Int)
+            .column("w", DataType::Float);
+        for i in 0..1000 {
+            b = b.row(vec![Value::Int(i % 7), Value::Float(i as f64 * 0.5)]);
+        }
+        let left = b.build().unwrap();
+        let right = zipfish(2500);
+        let lp = PagedRelation::spill(&left, &pool(1)).unwrap();
+        let rp = PagedRelation::spill(&right, &pool(2)).unwrap();
+        let lk = ["id".to_string()];
+        let rk = ["z".to_string()];
+        for opts in [
+            JoinOptions::baseline(),
+            JoinOptions::inject(),
+            JoinOptions::defer(),
+            JoinOptions::defer_forward(),
+        ] {
+            let ram = hash_join(&left, &right, &lk, &rk, &opts).unwrap();
+            let out = paged_hash_join(&lp, &rp, &lk, &rk, &opts, 1024).unwrap();
+            assert!(out.grace_partitions > 1, "expected the grace path");
+            assert_eq!(out.output, ram.output);
+            assert_eq!(out.output_rows, ram.output_rows);
+            assert_eq!(out.pk_fk, ram.pk_fk);
+            if opts.mode.captures() {
+                assert_same_lineage(
+                    &out.lineage,
+                    &ram.lineage,
+                    &[left.len(), right.len()],
+                    ram.output_rows,
+                );
+            } else {
+                assert!(out.lineage.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn grace_join_handles_float_keys() {
+        let mut b = Relation::builder("fl").column("f", DataType::Float);
+        for i in 0..500 {
+            b = b.row(vec![Value::Float((i % 5) as f64 * 0.5)]);
+        }
+        let left = b.build().unwrap();
+        let mut b = Relation::builder("fr").column("f", DataType::Float);
+        for i in 0..600 {
+            b = b.row(vec![Value::Float((i % 8) as f64 * 0.5)]);
+        }
+        let right = b.build().unwrap();
+        let lp = PagedRelation::spill(&left, &pool(1)).unwrap();
+        let rp = PagedRelation::spill(&right, &pool(1)).unwrap();
+        let k = ["f".to_string()];
+        for opts in [JoinOptions::inject(), JoinOptions::defer()] {
+            let ram = hash_join(&left, &right, &k, &k, &opts).unwrap();
+            let out = paged_hash_join(&lp, &rp, &k, &k, &opts, 1024).unwrap();
+            assert!(out.grace_partitions > 1);
+            assert_eq!(out.output, ram.output);
+            assert_same_lineage(
+                &out.lineage,
+                &ram.lineage,
+                &[left.len(), right.len()],
+                ram.output_rows,
+            );
+        }
+    }
+
+    #[test]
+    fn grace_falls_back_to_resident_for_string_keys() {
+        // Over budget, but the key column is Str: partitions spill through
+        // fixed-width runs only, so the join must stay on the resident path
+        // (and still be correct).
+        let mut b = Relation::builder("sl").column("s", DataType::Str);
+        for i in 0..1000 {
+            b = b.row(vec![Value::Str(format!("k{}", i % 6))]);
+        }
+        let left = b.build().unwrap();
+        let mut b = Relation::builder("sr").column("s", DataType::Str);
+        for i in 0..800 {
+            b = b.row(vec![Value::Str(format!("k{}", i % 9))]);
+        }
+        let right = b.build().unwrap();
+        let lp = PagedRelation::spill(&left, &pool(1)).unwrap();
+        let rp = PagedRelation::spill(&right, &pool(1)).unwrap();
+        let k = ["s".to_string()];
+        let ram = hash_join(&left, &right, &k, &k, &JoinOptions::inject()).unwrap();
+        let out = paged_hash_join(&lp, &rp, &k, &k, &JoinOptions::inject(), 1024).unwrap();
+        assert_eq!(out.grace_partitions, 1, "Str keys must not take grace");
+        assert_eq!(out.output, ram.output);
+        assert_same_lineage(
+            &out.lineage,
+            &ram.lineage,
+            &[left.len(), right.len()],
+            ram.output_rows,
+        );
+    }
+
+    #[test]
+    fn explicit_grace_join_matches_on_small_inputs() {
+        // Direct invocation with a fixed fan-out on inputs far under the
+        // budget: the grace machinery itself (not the dispatch heuristic)
+        // must reproduce the resident join, empty partitions included.
+        let mut b = Relation::builder("A").column("z", DataType::Int);
+        for z in [1, 1, 2, 3, 1] {
+            b = b.row(vec![Value::Int(z)]);
+        }
+        let left = b.build().unwrap();
+        let mut b = Relation::builder("B").column("z", DataType::Int);
+        for z in [1, 2, 1, 3, 9] {
+            b = b.row(vec![Value::Int(z)]);
+        }
+        let right = b.build().unwrap();
+        let lp = PagedRelation::spill(&left, &pool(1)).unwrap();
+        let rp = PagedRelation::spill(&right, &pool(1)).unwrap();
+        let k = ["z".to_string()];
+        for opts in [
+            JoinOptions::inject(),
+            JoinOptions::defer(),
+            JoinOptions::defer_forward(),
+        ] {
+            let ram = hash_join(&left, &right, &k, &k, &opts).unwrap();
+            let out = paged_grace_hash_join(&lp, &rp, &k, &k, &opts, 1024, 3).unwrap();
+            assert_eq!(out.grace_partitions, 3);
             assert!(!out.pk_fk);
             assert_eq!(out.output, ram.output);
             assert_same_lineage(

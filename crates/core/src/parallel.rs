@@ -619,6 +619,7 @@ fn par_join_keyed<K: Eq + std::hash::Hash + Sync>(
             lineage: OperatorLineage::none(),
             output_rows: out_counter,
             pk_fk,
+            grace_partitions: 1,
             stats: CaptureStats {
                 base_query,
                 ..Default::default()
@@ -688,6 +689,7 @@ fn par_join_keyed<K: Eq + std::hash::Hash + Sync>(
         ),
         output_rows: out_counter,
         pk_fk,
+        grace_partitions: 1,
         stats,
     })
 }

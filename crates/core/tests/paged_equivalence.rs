@@ -48,6 +48,22 @@ fn spill(table: &Relation, budget: usize, policy: ReplacementPolicy) -> PagedRel
     PagedRelation::spill(table, &pool).unwrap()
 }
 
+/// Like [`spill`] but the pool carries a background prefetcher, so the paged
+/// operators' run-ahead hints actually load pages concurrently with the scan.
+fn spill_with_prefetch(
+    table: &Relation,
+    budget: usize,
+    policy: ReplacementPolicy,
+) -> PagedRelation {
+    let pool = Arc::new(BufferPool::with_prefetch(
+        SegmentStore::in_memory(),
+        budget,
+        policy,
+        2,
+    ));
+    PagedRelation::spill(table, &pool).unwrap()
+}
+
 /// One-page chunks: every chunk boundary is a page boundary, so group and
 /// join state must be carried across chunks to stay correct.
 const CHUNK: usize = ROWS_PER_PAGE;
@@ -227,6 +243,130 @@ proptest! {
         let pleft = spill(&left, budget, ReplacementPolicy::Lru);
         let pright = spill(&right, budget, ReplacementPolicy::Lru);
         assert_join_equivalent(&left, &right, &pleft, &pright, &["a".to_string()]);
+    }
+
+    /// Prefetching is an advisory optimization: with a prefetcher attached,
+    /// every operator must produce bit-for-bit the same outputs and lineage
+    /// as the same pool without one — for any budget and policy, the grace
+    /// join path included (large `reps` push the build side over budget).
+    #[test]
+    fn prefetch_on_equals_prefetch_off(
+        rows in prop::collection::vec((-2i64..8, 0i64..100), 1..100),
+        reps in 1usize..8,
+        cut in -2i64..8,
+        budget in 1usize..9,
+        policy in 0usize..3,
+    ) {
+        let policy = ReplacementPolicy::ALL[policy];
+        let table = table_from(&rows, reps);
+        let plain = spill(&table, budget, policy);
+        let pre = spill_with_prefetch(&table, budget, policy);
+
+        let pred = Expr::col("a").ge(Expr::lit(cut));
+        let off = paged_select(&plain, &pred, &SelectOptions::inject(), CHUNK).unwrap();
+        let on = paged_select(&pre, &pred, &SelectOptions::inject(), CHUNK).unwrap();
+        assert_eq!(off.output, on.output);
+        for o in 0..off.output.len() as Rid {
+            assert_eq!(
+                off.lineage.input(0).backward().lookup(o),
+                on.lineage.input(0).backward().lookup(o),
+            );
+        }
+        for i in 0..table.len() as Rid {
+            assert_eq!(
+                off.lineage.input(0).forward().lookup(i),
+                on.lineage.input(0).forward().lookup(i),
+            );
+        }
+
+        // Group-by on the resident string column: the offsets-run hints of
+        // the spilled Str pages must not perturb anything either.
+        let keys = ["s".to_string()];
+        let off = paged_group_by(&plain, &keys, &exact_aggs("b"), &GroupByOptions::defer(), CHUNK)
+            .unwrap();
+        let on = paged_group_by(&pre, &keys, &exact_aggs("b"), &GroupByOptions::defer(), CHUNK)
+            .unwrap();
+        assert_eq!(off.output, on.output);
+        for g in 0..off.output.len() as Rid {
+            assert_eq!(
+                off.lineage.input(0).backward().lookup(g),
+                on.lineage.input(0).backward().lookup(g),
+            );
+        }
+
+        // Self-join on `a`; over-budget build sides take the grace path on
+        // both pools.
+        let jk = ["a".to_string()];
+        let off = paged_hash_join(&plain, &plain, &jk, &jk, &JoinOptions::inject(), CHUNK).unwrap();
+        let on = paged_hash_join(&pre, &pre, &jk, &jk, &JoinOptions::inject(), CHUNK).unwrap();
+        assert_eq!(off.grace_partitions, on.grace_partitions);
+        assert_eq!(off.output, on.output);
+        assert_eq!(off.output_rows, on.output_rows);
+        for side in 0..2 {
+            for o in 0..off.output_rows as Rid {
+                assert_eq!(
+                    off.lineage.input(side).backward().lookup(o),
+                    on.lineage.input(side).backward().lookup(o),
+                );
+            }
+        }
+    }
+}
+
+/// The grace-hash join under the harshest schedule: one-frame pools, every
+/// replacement policy, every capture mode — rid-for-rid against the
+/// resident engine, with the partition fan-out actually engaged.
+#[test]
+fn grace_join_survives_one_frame_pools_for_all_policies() {
+    let rows: Vec<(i64, i64)> = (0..1500).map(|i| (i % 7, i % 13)).collect();
+    let left = table_from(&rows, 1).with_name("L");
+    let right = table_from(&rows, 1).with_name("R");
+    let keys = ["a".to_string()];
+    for policy in ReplacementPolicy::ALL {
+        // The paged side runs with a live prefetcher: grace partitioning,
+        // probing, and merging must tolerate background page installs even
+        // when there is a single frame to fight over.
+        let pleft = spill_with_prefetch(&left, 1, policy);
+        let pright = spill_with_prefetch(&right, 1, policy);
+        for opts in [
+            JoinOptions::baseline(),
+            JoinOptions::inject(),
+            JoinOptions::defer(),
+            JoinOptions::defer_forward(),
+        ] {
+            let seq = hash_join(&left, &right, &keys, &keys, &opts).unwrap();
+            let p = paged_hash_join(&pleft, &pright, &keys, &keys, &opts, CHUNK).unwrap();
+            assert!(p.grace_partitions > 1, "grace must engage ({policy:?})");
+            assert_eq!(seq.output, p.output, "{policy:?}");
+            assert_eq!(seq.output_rows, p.output_rows);
+            assert_eq!(seq.pk_fk, p.pk_fk);
+            if !opts.mode.captures() {
+                continue;
+            }
+            for side in 0..2 {
+                for o in 0..seq.output_rows as Rid {
+                    assert_eq!(
+                        seq.lineage.input(side).backward().lookup(o),
+                        p.lineage.input(side).backward().lookup(o),
+                        "{policy:?} side {side} output {o}"
+                    );
+                }
+            }
+            for l in 0..left.len() as Rid {
+                let mut a = seq.lineage.input(0).forward().lookup(l);
+                let mut b = p.lineage.input(0).forward().lookup(l);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{policy:?} left forward at {l}");
+            }
+            for r in 0..right.len() as Rid {
+                assert_eq!(
+                    seq.lineage.input(1).forward().lookup(r),
+                    p.lineage.input(1).forward().lookup(r),
+                    "{policy:?} right forward at {r}"
+                );
+            }
+        }
     }
 }
 

@@ -33,10 +33,13 @@ fn violation(rule: &'static str, path: &str, tok: &Token, message: String) -> Vi
 /// Whether `path` is on the untrusted request path: everything in the server
 /// crate plus the planner's hand-rolled JSON and wire-decode layers, plus
 /// the pager crate — its buffer pool sits under every paged session, so a
-/// panic there poisons pool locks for all concurrent readers.
+/// panic there poisons pool locks for all concurrent readers — plus the
+/// grace-join path, which runs arbitrary key data through partition writers
+/// under the same shared pool.
 fn on_request_path(path: &str) -> bool {
     path.starts_with("crates/server/src/")
         || path.starts_with("crates/pager/src/")
+        || path == "crates/core/src/paged/grace.rs"
         || path == "crates/planner/src/json.rs"
         || path == "crates/planner/src/wire.rs"
 }
@@ -310,14 +313,24 @@ pub fn no_lock_across_io(path: &str, tokens: &[Token]) -> Vec<Violation> {
 
 /// Rule 4 — `pin-guard-no-io`.
 ///
-/// In the server crate, a pinned-page guard (a `let` binding whose
-/// initializer calls `.pin(`) must not be live across blocking session I/O.
-/// A pin occupies a buffer-pool frame; holding one while a slow client
-/// drains a socket write shrinks the pool for every concurrent session and
-/// can deadlock a budget-of-one pool outright. Decode the page into an
-/// owned value, drop the pin, then write.
+/// A pinned-page guard (a `let` binding whose initializer calls `.pin(`)
+/// must not be live across blocking session I/O. A pin occupies a
+/// buffer-pool frame; holding one while a slow client drains a socket write
+/// shrinks the pool for every concurrent session and can deadlock a
+/// budget-of-one pool outright. Decode the page into an owned value, drop
+/// the pin, then write.
+///
+/// Scope: the server crate (sessions), the pager's background prefetcher
+/// (its workers share the pool with every foreground pin), and the chunked
+/// paged operators including the grace-hash join (single-pin discipline is
+/// what makes one-frame pools survivable). The pool's own internals
+/// (`pool.rs`/`store.rs`) stay exempt — pinning around store I/O there *is*
+/// the mechanism.
 pub fn pin_guard_no_io(path: &str, tokens: &[Token]) -> Vec<Violation> {
-    if !path.starts_with("crates/server/src/") {
+    let in_scope = path.starts_with("crates/server/src/")
+        || path == "crates/pager/src/prefetch.rs"
+        || path.starts_with("crates/core/src/paged/");
+    if !in_scope {
         return Vec::new();
     }
     guard_across_io(

@@ -134,11 +134,41 @@ fn pin_guard_no_io_clean() {
 }
 
 #[test]
-fn pin_guard_rule_only_applies_to_the_server_crate() {
-    // The pager's own internals pin pages around store I/O by design; the
-    // rule polices sessions, not the pool.
+fn pin_guard_rule_skips_the_pool_internals() {
+    // The pool's own internals pin pages around store I/O by design; the
+    // rule polices pin *consumers* — sessions, the prefetcher, the paged
+    // operators — not the mechanism itself.
     let src = fixture("pin_io", "fires");
-    assert_clean("crates/pager/src/fixture.rs", &src);
+    assert_clean("crates/pager/src/pool.rs", &src);
+    assert_clean("crates/pager/src/store.rs", &src);
+    assert_clean("crates/storage/src/paged.rs", &src);
+}
+
+#[test]
+fn pin_guard_rule_covers_prefetcher_and_paged_operators() {
+    let src = fixture("pin_io", "fires");
+    for path in [
+        "crates/pager/src/prefetch.rs",
+        "crates/core/src/paged/mod.rs",
+        "crates/core/src/paged/grace.rs",
+    ] {
+        let r = check_source(path, &src);
+        assert!(
+            r.violations.iter().any(|v| v.rule == "pin-guard-no-io"),
+            "{path} must be in pin-guard scope: {:#?}",
+            r.violations
+        );
+    }
+}
+
+#[test]
+fn no_panic_rule_covers_the_grace_join_path() {
+    let src = fixture("no_panic", "fires");
+    let r = check_source("crates/core/src/paged/grace.rs", &src);
+    assert_eq!(r.violations.len(), 3, "{:#?}", r.violations);
+    // ...but not the rest of the core crate.
+    let r = check_source("crates/core/src/ops/join.rs", &src);
+    assert!(r.violations.is_empty());
 }
 
 #[test]

@@ -16,6 +16,12 @@
 //!   Clock (second chance), SIEVE, and exact LRU, selected by
 //!   [`ReplacementPolicy`].
 //!
+//! Pools built with [`BufferPool::with_prefetch`] additionally run a small
+//! background prefetcher: [`BufferPool::prefetch`] takes advisory page
+//! hints, coalesces them into contiguous runs, and reads each run with one
+//! vectored [`SegmentStore::read_run_pages`] call ahead of the demand pins,
+//! swapping the freshly read buffers straight into frames.
+//!
 //! The crate is dependency-free, `unsafe`-free, and panic-free outside
 //! tests (enforced by `smoke-lint`'s no-panic scope): every failure mode is
 //! a typed [`PagerError`].
@@ -43,11 +49,12 @@
 pub mod error;
 pub mod page;
 pub mod pool;
+mod prefetch;
 pub mod replacer;
 pub mod store;
 
 pub use error::PagerError;
 pub use page::{PageId, PAGE_SIZE};
-pub use pool::{BufferPool, PageGuard, PoolStats};
+pub use pool::{BufferPool, PageGuard, PoolStats, DEFAULT_PREFETCH_THREADS};
 pub use replacer::{Clock, Lru, ReplacementPolicy, Replacer, Sieve};
 pub use store::SegmentStore;

@@ -7,6 +7,14 @@
 //! mutex at pin/unpin time. Writes go through [`BufferPool::with_page_mut`],
 //! which marks the frame dirty; dirty pages are written back to the
 //! [`SegmentStore`] on eviction or [`BufferPool::flush`].
+//!
+//! Pools built with [`BufferPool::with_prefetch`] additionally own a small
+//! background [`crate::prefetch`] worker pool: [`BufferPool::prefetch`]
+//! accepts advisory page hints, which the workers coalesce into contiguous
+//! runs, read with one batched store read each, and install into unpinned
+//! frames ahead of the demand pins. Prefetching never evicts a pinned frame
+//! and never fails a query: every prefetch error is swallowed and the next
+//! demand pin simply pays the read itself.
 
 use std::collections::HashMap;
 use std::ops::Deref;
@@ -14,8 +22,12 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::error::PagerError;
 use crate::page::{PageId, PAGE_SIZE};
+use crate::prefetch::Prefetcher;
 use crate::replacer::{ReplacementPolicy, Replacer};
 use crate::store::SegmentStore;
+
+/// Worker threads a [`BufferPool::with_prefetch`] pool spawns by default.
+pub const DEFAULT_PREFETCH_THREADS: usize = 2;
 
 /// Counter snapshot of a pool's behaviour since creation (or the last
 /// [`BufferPool::reset_stats`]).
@@ -27,18 +39,27 @@ pub struct PoolStats {
     pub misses: u64,
     /// Resident pages pushed out to make room.
     pub evictions: u64,
-    /// Physical page reads issued to the store.
+    /// Physical page reads issued to the store (demand misses and
+    /// prefetcher batch reads alike).
     pub disk_reads: u64,
     /// Physical page writes issued to the store (write-back + flush).
     pub disk_writes: u64,
+    /// Pages the background prefetcher installed into frames.
+    pub prefetch_loads: u64,
+    /// Pins served from a frame the prefetcher loaded (counted once, on the
+    /// first demand pin that touches the prefetched page).
+    pub prefetch_hits: u64,
+    /// Prefetched pages evicted before any demand pin touched them.
+    pub prefetch_wasted: u64,
 }
 
 impl PoolStats {
-    /// Hit fraction in `[0, 1]`; `1.0` for an untouched pool.
+    /// Hit fraction in `[0, 1]`. A zero-access window has hit nothing, so
+    /// an untouched pool reports `0.0` (never `NaN`).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
-            1.0
+            0.0
         } else {
             self.hits as f64 / total as f64
         }
@@ -50,6 +71,8 @@ struct Frame {
     data: Arc<Vec<u8>>,
     dirty: bool,
     pins: u32,
+    /// Loaded by the prefetcher and not yet touched by a demand pin.
+    prefetched: bool,
 }
 
 struct PoolInner {
@@ -58,14 +81,35 @@ struct PoolInner {
     table: HashMap<u32, usize>,
     replacer: Box<dyn Replacer>,
     stats: PoolStats,
+    /// Frames currently holding a page. Kept exact (decremented when a
+    /// frame's page is taken, incremented when one is installed) so a full
+    /// pool skips the O(capacity) empty-frame scan on every miss.
+    occupied: usize,
 }
 
-/// A fixed-budget page cache over a [`SegmentStore`].
-pub struct BufferPool {
+impl PoolInner {
+    /// Lowest-indexed empty frame, if any. O(1) on a full pool.
+    fn empty_frame(&self) -> Option<usize> {
+        if self.occupied >= self.frames.len() {
+            return None;
+        }
+        self.frames.iter().position(|fr| fr.page.is_none())
+    }
+}
+
+/// The part of the pool shared between the owning [`BufferPool`] handle and
+/// the background prefetch workers.
+pub(crate) struct PoolCore {
     store: SegmentStore,
     inner: Mutex<PoolInner>,
     capacity: usize,
     policy: ReplacementPolicy,
+}
+
+/// A fixed-budget page cache over a [`SegmentStore`].
+pub struct BufferPool {
+    core: Arc<PoolCore>,
+    prefetcher: Option<Prefetcher>,
 }
 
 fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -75,97 +119,35 @@ fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-impl BufferPool {
-    /// A pool of `budget_pages` frames over `store`, using `policy` for
-    /// replacement. The budget is a hard cap: the pool allocates exactly
-    /// `budget_pages × PAGE_SIZE` bytes of frame memory up front and never
-    /// more.
-    pub fn new(store: SegmentStore, budget_pages: usize, policy: ReplacementPolicy) -> Self {
-        let capacity = budget_pages.max(1);
-        let frames = (0..capacity)
-            .map(|_| Frame {
-                page: None,
-                data: Arc::new(vec![0u8; PAGE_SIZE]),
-                dirty: false,
-                pins: 0,
-            })
-            .collect();
-        BufferPool {
-            store,
-            inner: Mutex::new(PoolInner {
-                frames,
-                table: HashMap::with_capacity(capacity),
-                replacer: policy.replacer(capacity),
-                stats: PoolStats::default(),
-            }),
-            capacity,
-            policy,
-        }
-    }
+/// What [`PoolCore::install_prefetched`] did with one prefetched page.
+enum Admit {
+    /// Installed into the chosen frame.
+    Installed,
+    /// The run cannot make further progress (a dirty write-back failed or
+    /// the frame's buffer is unusable).
+    Stop,
+}
 
-    /// The pool's page-count budget.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// The replacement policy this pool was built with.
-    pub fn policy(&self) -> ReplacementPolicy {
-        self.policy
-    }
-
-    /// The backing store (for allocation and raw-size queries).
-    pub fn store(&self) -> &SegmentStore {
-        &self.store
-    }
-
-    /// Allocates a contiguous run of `n` fresh pages in the backing store.
-    pub fn allocate(&self, n: u32) -> PageId {
-        self.store.allocate(n)
-    }
-
-    /// Counter snapshot.
-    pub fn stats(&self) -> PoolStats {
-        relock(&self.inner).stats
-    }
-
-    /// Zeroes the counters (the benches do this between cold and warm runs).
-    pub fn reset_stats(&self) {
-        relock(&self.inner).stats = PoolStats::default();
-    }
-
-    /// Whether `page` is currently resident (no pin taken).
-    pub fn is_resident(&self, page: PageId) -> bool {
-        relock(&self.inner).table.contains_key(&page.0)
-    }
-
-    /// Fraction of `pages` currently resident, in `[0, 1]`. The planner's
-    /// I/O cost term uses this to discount already-cached reads.
-    pub fn resident_fraction(&self, pages: &[PageId]) -> f64 {
-        if pages.is_empty() {
-            return 1.0;
-        }
-        let inner = relock(&self.inner);
-        let hits = pages
-            .iter()
-            .filter(|p| inner.table.contains_key(&p.0))
-            .count();
-        hits as f64 / pages.len() as f64
-    }
-
+impl PoolCore {
     /// Ensures `page` is resident and returns its frame index with the pin
     /// count already incremented. Caller holds the lock.
     fn pin_frame(&self, inner: &mut PoolInner, page: PageId) -> Result<usize, PagerError> {
         if let Some(&f) = inner.table.get(&page.0) {
             inner.stats.hits += 1;
             inner.replacer.on_access(f);
+            let mut was_prefetched = false;
             if let Some(frame) = inner.frames.get_mut(f) {
                 frame.pins += 1;
+                was_prefetched = std::mem::take(&mut frame.prefetched);
+            }
+            if was_prefetched {
+                inner.stats.prefetch_hits += 1;
             }
             return Ok(f);
         }
         inner.stats.misses += 1;
         // Prefer an empty frame; otherwise ask the replacer for a victim.
-        let f = match inner.frames.iter().position(|fr| fr.page.is_none()) {
+        let f = match inner.empty_frame() {
             Some(f) => f,
             None => {
                 let evictable: Vec<bool> = inner
@@ -184,10 +166,14 @@ impl BufferPool {
         // Write back and unmap the evicted page.
         if let Some(frame) = inner.frames.get_mut(f) {
             if let Some(old) = frame.page.take() {
+                inner.occupied -= 1;
                 if frame.dirty {
                     self.store.write_page(old, &frame.data)?;
                     inner.stats.disk_writes += 1;
                     frame.dirty = false;
+                }
+                if std::mem::take(&mut frame.prefetched) {
+                    inner.stats.prefetch_wasted += 1;
                 }
                 inner.table.remove(&old.0);
                 inner.stats.evictions += 1;
@@ -200,6 +186,7 @@ impl BufferPool {
             self.store.read_page(page, buf)?;
             inner.stats.disk_reads += 1;
             frame.page = Some(page);
+            inner.occupied += 1;
             frame.pins += 1;
         }
         inner.table.insert(page.0, f);
@@ -207,19 +194,281 @@ impl BufferPool {
         Ok(f)
     }
 
+    fn unpin(&self, frame: usize) {
+        let mut inner = relock(&self.inner);
+        if let Some(fr) = inner.frames.get_mut(frame) {
+            fr.pins = fr.pins.saturating_sub(1);
+        }
+    }
+
+    /// Reads the run `[first, first + len)` from the store with one batched
+    /// read and installs the non-resident pages into unpinned frames.
+    /// Best-effort on behalf of the prefetch workers: every failure mode
+    /// (out-of-bounds hint, I/O error, fully pinned pool) silently drops the
+    /// run — a demand pin will pay the read instead.
+    pub(crate) fn prefetch_run(&self, first: PageId, len: u32, scratch: &mut [Vec<u8>]) {
+        let allocated = self.store.page_count();
+        if first.0 >= allocated || len == 0 {
+            return;
+        }
+        let len = len.min(allocated - first.0);
+        {
+            // Fully resident runs need no I/O at all.
+            let inner = relock(&self.inner);
+            if (0..len).all(|i| inner.table.contains_key(&(first.0 + i))) {
+                return;
+            }
+        }
+        let Some(bufs) = scratch.get_mut(..len as usize) else {
+            return;
+        };
+        if self.store.read_run_pages(first, len, bufs).is_err() {
+            return;
+        }
+        let mut inner = relock(&self.inner);
+        inner.stats.disk_reads += u64::from(len);
+        // One O(capacity) sweep for the whole run, not one per page: empty
+        // frames are collected up front, and the evictability bitmap is
+        // built once and consumed victim by victim. Clearing a chosen
+        // frame's bit keeps it from being re-victimized, which also stops a
+        // run larger than the pool from cycling through its own pages. This
+        // amortization is what makes a prefetched install cheaper than the
+        // demand miss it replaces — a 32-page run pays one sweep where 32
+        // demand misses pay 32. Pins cannot change mid-run (the lock is
+        // held throughout), so the bitmap never goes stale.
+        let mut empties: Vec<usize> = Vec::new();
+        let mut evictable: Vec<bool> = Vec::with_capacity(inner.frames.len());
+        for (f, fr) in inner.frames.iter().enumerate() {
+            if fr.page.is_none() {
+                empties.push(f);
+            }
+            evictable.push(fr.page.is_some() && fr.pins == 0);
+        }
+        empties.reverse(); // pop() fills lowest-indexed frames first
+        let mut installed = 0u64;
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            let page = PageId(first.0 + i as u32);
+            if inner.table.contains_key(&page.0) {
+                continue;
+            }
+            let f = match empties.pop() {
+                Some(f) => f,
+                None => {
+                    let Some(f) = inner.replacer.victim(&evictable) else {
+                        break;
+                    };
+                    f
+                }
+            };
+            if let Some(slot) = evictable.get_mut(f) {
+                *slot = false;
+            }
+            match self.install_prefetched(&mut inner, f, page, buf) {
+                Admit::Installed => installed += 1,
+                Admit::Stop => break,
+            }
+        }
+        inner.stats.prefetch_loads += installed;
+    }
+
+    /// Installs one prefetched page into frame `f` without pinning it,
+    /// swapping `buf` — the page's freshly read bytes — into the frame and
+    /// leaving the frame's displaced buffer in `buf` for the worker to
+    /// recycle. The run's bytes therefore move exactly once (store → buf);
+    /// the demand path's second copy into the frame never happens. Caller
+    /// holds the lock and guarantees `f` is unpinned — an empty frame or a
+    /// victim the replacer just surrendered.
+    fn install_prefetched(
+        &self,
+        inner: &mut PoolInner,
+        f: usize,
+        page: PageId,
+        buf: &mut Vec<u8>,
+    ) -> Admit {
+        if buf.len() != PAGE_SIZE {
+            return Admit::Stop;
+        }
+        if let Some(frame) = inner.frames.get_mut(f) {
+            if let Some(old) = frame.page.take() {
+                inner.occupied -= 1;
+                if frame.dirty {
+                    if self.store.write_page(old, &frame.data).is_err() {
+                        // Never lose a dirty page for an advisory read; the
+                        // frame keeps its page, so re-register it with the
+                        // replacer (`victim` may have dequeued it).
+                        frame.page = Some(old);
+                        inner.occupied += 1;
+                        inner.replacer.on_admit(f);
+                        return Admit::Stop;
+                    }
+                    inner.stats.disk_writes += 1;
+                    frame.dirty = false;
+                }
+                if std::mem::take(&mut frame.prefetched) {
+                    inner.stats.prefetch_wasted += 1;
+                }
+                inner.table.remove(&old.0);
+                inner.stats.evictions += 1;
+            }
+        }
+        if let Some(frame) = inner.frames.get_mut(f) {
+            let fresh = Arc::new(std::mem::take(buf));
+            let old = Arc::try_unwrap(std::mem::replace(&mut frame.data, fresh));
+            // Recycle the displaced allocation as the worker's next scratch
+            // buffer. A guard mid-drop (unpinned, `Arc` not yet released)
+            // can keep the old buffer alive; that rare race costs one fresh
+            // allocation, never a stale read.
+            *buf = old.unwrap_or_else(|_| vec![0u8; PAGE_SIZE]);
+            frame.page = Some(page);
+            inner.occupied += 1;
+            frame.prefetched = true;
+        }
+        inner.table.insert(page.0, f);
+        inner.replacer.on_admit(f);
+        Admit::Installed
+    }
+}
+
+impl BufferPool {
+    /// A pool of `budget_pages` frames over `store`, using `policy` for
+    /// replacement. The budget is a hard cap: the pool allocates exactly
+    /// `budget_pages × PAGE_SIZE` bytes of frame memory up front and never
+    /// more. No prefetcher is spawned; [`BufferPool::prefetch`] is a no-op.
+    pub fn new(store: SegmentStore, budget_pages: usize, policy: ReplacementPolicy) -> Self {
+        Self::build(store, budget_pages, policy, 0)
+    }
+
+    /// Like [`BufferPool::new`], plus a background prefetcher of `threads`
+    /// workers (at least one) serving [`BufferPool::prefetch`] hints.
+    pub fn with_prefetch(
+        store: SegmentStore,
+        budget_pages: usize,
+        policy: ReplacementPolicy,
+        threads: usize,
+    ) -> Self {
+        Self::build(store, budget_pages, policy, threads.max(1))
+    }
+
+    fn build(
+        store: SegmentStore,
+        budget_pages: usize,
+        policy: ReplacementPolicy,
+        prefetch_threads: usize,
+    ) -> Self {
+        let capacity = budget_pages.max(1);
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                page: None,
+                data: Arc::new(vec![0u8; PAGE_SIZE]),
+                dirty: false,
+                pins: 0,
+                prefetched: false,
+            })
+            .collect();
+        let core = Arc::new(PoolCore {
+            store,
+            inner: Mutex::new(PoolInner {
+                frames,
+                table: HashMap::with_capacity(capacity),
+                replacer: policy.replacer(capacity),
+                stats: PoolStats::default(),
+                occupied: 0,
+            }),
+            capacity,
+            policy,
+        });
+        let prefetcher =
+            (prefetch_threads > 0).then(|| Prefetcher::spawn(Arc::clone(&core), prefetch_threads));
+        BufferPool { core, prefetcher }
+    }
+
+    /// The pool's page-count budget.
+    pub fn capacity(&self) -> usize {
+        self.core.capacity
+    }
+
+    /// The replacement policy this pool was built with.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.core.policy
+    }
+
+    /// The backing store (for allocation and raw-size queries).
+    pub fn store(&self) -> &SegmentStore {
+        &self.core.store
+    }
+
+    /// Allocates a contiguous run of `n` fresh pages in the backing store.
+    pub fn allocate(&self, n: u32) -> PageId {
+        self.core.store.allocate(n)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        relock(&self.core.inner).stats
+    }
+
+    /// Zeroes the counters (the benches do this between cold and warm runs).
+    pub fn reset_stats(&self) {
+        relock(&self.core.inner).stats = PoolStats::default();
+    }
+
+    /// Whether this pool was built with a background prefetcher.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetcher.is_some()
+    }
+
+    /// Hints that `pages` are about to be read. Advisory and non-blocking:
+    /// the hints are coalesced into contiguous runs and served by the
+    /// background workers; without a prefetcher (or for already-resident
+    /// pages) this is a no-op. Prefetching never evicts a pinned frame.
+    pub fn prefetch(&self, pages: &[PageId]) {
+        if let Some(pf) = &self.prefetcher {
+            pf.enqueue(pages);
+        }
+    }
+
+    /// Blocks until every queued prefetch hint has been processed. Tests
+    /// and cold/warm bench transitions use this to make the asynchronous
+    /// prefetcher deterministic; a pool without one returns immediately.
+    pub fn prefetch_quiesce(&self) {
+        if let Some(pf) = &self.prefetcher {
+            pf.quiesce();
+        }
+    }
+
+    /// Whether `page` is currently resident (no pin taken).
+    pub fn is_resident(&self, page: PageId) -> bool {
+        relock(&self.core.inner).table.contains_key(&page.0)
+    }
+
+    /// Fraction of `pages` currently resident, in `[0, 1]`. The planner's
+    /// I/O cost term uses this to discount already-cached reads. An empty
+    /// page set has no resident pages, so it reports `0.0` (never `NaN`).
+    pub fn resident_fraction(&self, pages: &[PageId]) -> f64 {
+        if pages.is_empty() {
+            return 0.0;
+        }
+        let inner = relock(&self.core.inner);
+        let hits = pages
+            .iter()
+            .filter(|p| inner.table.contains_key(&p.0))
+            .count();
+        hits as f64 / pages.len() as f64
+    }
+
     /// Pins `page`, loading it from the store on a miss (evicting an
     /// unpinned frame if the pool is full). Fails with
     /// [`PagerError::PoolExhausted`] when every frame is pinned.
     pub fn pin(&self, page: PageId) -> Result<PageGuard<'_>, PagerError> {
-        let mut inner = relock(&self.inner);
-        let f = self.pin_frame(&mut inner, page)?;
+        let mut inner = relock(&self.core.inner);
+        let f = self.core.pin_frame(&mut inner, page)?;
         let data = inner
             .frames
             .get(f)
             .map(|fr| Arc::clone(&fr.data))
             .unwrap_or_default();
         Ok(PageGuard {
-            pool: self,
+            core: &self.core,
             frame: f,
             page,
             data,
@@ -234,8 +483,8 @@ impl BufferPool {
         page: PageId,
         mutate: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R, PagerError> {
-        let mut inner = relock(&self.inner);
-        let f = self.pin_frame(&mut inner, page)?;
+        let mut inner = relock(&self.core.inner);
+        let f = self.core.pin_frame(&mut inner, page)?;
         match inner.frames.get_mut(f) {
             Some(frame) => {
                 frame.dirty = true;
@@ -245,18 +494,18 @@ impl BufferPool {
             }
             None => Err(PagerError::PageOutOfBounds {
                 page,
-                allocated: self.store.page_count(),
+                allocated: self.core.store.page_count(),
             }),
         }
     }
 
     /// Writes every dirty resident page back to the store.
     pub fn flush(&self) -> Result<(), PagerError> {
-        let mut inner = relock(&self.inner);
+        let mut inner = relock(&self.core.inner);
         let mut writes = 0u64;
         for frame in inner.frames.iter_mut() {
             if let (Some(page), true) = (frame.page, frame.dirty) {
-                self.store.write_page(page, &frame.data)?;
+                self.core.store.write_page(page, &frame.data)?;
                 frame.dirty = false;
                 writes += 1;
             }
@@ -264,20 +513,14 @@ impl BufferPool {
         inner.stats.disk_writes += writes;
         Ok(())
     }
-
-    fn unpin(&self, frame: usize) {
-        let mut inner = relock(&self.inner);
-        if let Some(fr) = inner.frames.get_mut(frame) {
-            fr.pins = fr.pins.saturating_sub(1);
-        }
-    }
 }
 
 impl std::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BufferPool")
-            .field("capacity", &self.capacity)
-            .field("policy", &self.policy)
+            .field("capacity", &self.core.capacity)
+            .field("policy", &self.core.policy)
+            .field("prefetch", &self.prefetch_enabled())
             .field("stats", &self.stats())
             .finish()
     }
@@ -288,7 +531,7 @@ impl std::fmt::Debug for BufferPool {
 /// never hold one across blocking I/O or another long-lived acquisition
 /// (the `pin-guard-no-io` lint enforces this on the server's request path).
 pub struct PageGuard<'a> {
-    pool: &'a BufferPool,
+    core: &'a PoolCore,
     frame: usize,
     page: PageId,
     data: Arc<Vec<u8>>,
@@ -311,7 +554,7 @@ impl Deref for PageGuard<'_> {
 
 impl Drop for PageGuard<'_> {
     fn drop(&mut self) {
-        self.pool.unpin(self.frame);
+        self.core.unpin(self.frame);
     }
 }
 
@@ -327,18 +570,50 @@ impl std::fmt::Debug for PageGuard<'_> {
 mod tests {
     use super::*;
 
-    fn pool(pages: u32, budget: usize, policy: ReplacementPolicy) -> BufferPool {
-        let store = SegmentStore::in_memory();
-        let first = store.allocate(pages);
+    fn fill(pool: &BufferPool, pages: u32) {
+        let first = pool.allocate(pages);
         assert_eq!(first, PageId(0));
-        let pool = BufferPool::new(store, budget, policy);
         for p in 0..pages {
             pool.with_page_mut(PageId(p), |buf| buf.fill(p as u8))
                 .unwrap();
         }
         pool.flush().unwrap();
         pool.reset_stats();
+    }
+
+    fn pool(pages: u32, budget: usize, policy: ReplacementPolicy) -> BufferPool {
+        let pool = BufferPool::new(SegmentStore::in_memory(), budget, policy);
+        fill(&pool, pages);
         pool
+    }
+
+    fn prefetch_pool(pages: u32, budget: usize, policy: ReplacementPolicy) -> BufferPool {
+        let pool = BufferPool::with_prefetch(SegmentStore::in_memory(), budget, policy, 2);
+        fill(&pool, pages);
+        pool
+    }
+
+    #[test]
+    fn oversized_prefetch_run_never_wedges_demand_eviction() {
+        // A run larger than the pool trips the self-cycling guard after the
+        // first install. SIEVE's `victim` dequeues the chosen frame, so the
+        // guard must re-register it — otherwise the replacer believes the
+        // pool is empty and every later demand miss is a spurious
+        // `PoolExhausted`. Regression test for exactly that wedge.
+        for policy in ReplacementPolicy::ALL {
+            let pool = prefetch_pool(8, 1, policy);
+            let ids: Vec<PageId> = (0..8).map(PageId).collect();
+            for _ in 0..3 {
+                pool.prefetch(&ids);
+                pool.prefetch_quiesce();
+            }
+            for p in 0..8u32 {
+                let g = pool.pin(PageId(p)).unwrap_or_else(|e| {
+                    panic!("demand pin of page {p} wedged under {policy:?}: {e}")
+                });
+                assert!(g.iter().all(|&b| b == p as u8));
+            }
+        }
     }
 
     #[test]
@@ -435,7 +710,10 @@ mod tests {
         assert!((s.hit_rate() - 0.5).abs() < 1e-9);
         pool.reset_stats();
         assert_eq!(pool.stats(), PoolStats::default());
-        assert_eq!(PoolStats::default().hit_rate(), 1.0);
+        // A zero-access window is a well-defined 0.0, not NaN and not a
+        // phantom perfect score.
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
+        assert!(!PoolStats::default().hit_rate().is_nan());
     }
 
     #[test]
@@ -445,7 +723,9 @@ mod tests {
         pool.pin(PageId(1)).unwrap();
         let all: Vec<PageId> = (0..4).map(PageId).collect();
         assert!((pool.resident_fraction(&all) - 0.5).abs() < 1e-9);
-        assert_eq!(pool.resident_fraction(&[]), 1.0);
+        // An empty page set is a well-defined 0.0, never NaN.
+        assert_eq!(pool.resident_fraction(&[]), 0.0);
+        assert!(!pool.resident_fraction(&[]).is_nan());
     }
 
     #[test]
@@ -466,5 +746,100 @@ mod tests {
             assert_eq!(s.hits + s.misses, 96);
             assert!(s.misses >= 16, "{policy}: {s:?}");
         }
+    }
+
+    #[test]
+    fn prefetched_pages_are_resident_and_hit() {
+        // Budget 4 of 8 pages: after the fill loop pages 4..8 are resident,
+        // so the prefetched run 0..4 does real loads.
+        let pool = prefetch_pool(8, 4, ReplacementPolicy::Clock);
+        let hints: Vec<PageId> = (0..4).map(PageId).collect();
+        pool.prefetch(&hints);
+        pool.prefetch_quiesce();
+        let s = pool.stats();
+        assert_eq!(s.prefetch_loads, 4, "{s:?}");
+        assert_eq!(s.disk_reads, 4);
+        for p in 0..4u32 {
+            assert!(pool.is_resident(PageId(p)));
+            let g = pool.pin(PageId(p)).unwrap();
+            assert!(g.iter().all(|&b| b == p as u8), "page {p}");
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits, 4);
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.prefetch_hits, 4);
+        // Re-pinning is a plain hit: prefetch_hits counts first touches only.
+        pool.pin(PageId(0)).unwrap();
+        assert_eq!(pool.stats().prefetch_hits, 4);
+    }
+
+    #[test]
+    fn prefetcher_never_victimizes_a_pinned_frame() {
+        // One frame, and it is pinned: the prefetcher must skip, not evict
+        // and not error.
+        let pool = prefetch_pool(4, 1, ReplacementPolicy::Sieve);
+        let guard = pool.pin(PageId(0)).unwrap();
+        pool.prefetch(&[PageId(1), PageId(2)]);
+        pool.prefetch_quiesce();
+        assert!(pool.is_resident(PageId(0)));
+        assert!(!pool.is_resident(PageId(1)));
+        assert!(!pool.is_resident(PageId(2)));
+        assert_eq!(pool.stats().prefetch_loads, 0);
+        // The pinned guard still reads its original page.
+        assert!(guard.iter().all(|&b| b == 0));
+        drop(guard);
+        // Unpinned, the same hints land.
+        pool.prefetch(&[PageId(1)]);
+        pool.prefetch_quiesce();
+        assert!(pool.is_resident(PageId(1)));
+        assert_eq!(pool.stats().prefetch_loads, 1);
+    }
+
+    #[test]
+    fn untouched_prefetched_pages_count_as_wasted_on_eviction() {
+        let pool = prefetch_pool(8, 2, ReplacementPolicy::Lru);
+        pool.prefetch(&[PageId(0), PageId(1)]);
+        pool.prefetch_quiesce();
+        assert_eq!(pool.stats().prefetch_loads, 2);
+        // Demand-pin two other pages: both prefetched frames are evicted
+        // before any pin touched them.
+        pool.pin(PageId(6)).unwrap();
+        pool.pin(PageId(7)).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.prefetch_wasted, 2, "{s:?}");
+        assert_eq!(s.prefetch_hits, 0);
+    }
+
+    #[test]
+    fn prefetch_hints_coalesce_across_small_gaps() {
+        let pool = prefetch_pool(8, 4, ReplacementPolicy::Clock);
+        // Pages 0 and 2: the gap page 1 rides along in one batched read.
+        pool.prefetch(&[PageId(2), PageId(0)]);
+        pool.prefetch_quiesce();
+        assert!(pool.is_resident(PageId(0)));
+        assert!(pool.is_resident(PageId(1)));
+        assert!(pool.is_resident(PageId(2)));
+        let g = pool.pin(PageId(1)).unwrap();
+        assert!(g.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn prefetch_out_of_bounds_hints_are_dropped() {
+        let pool = prefetch_pool(2, 2, ReplacementPolicy::Clock);
+        pool.prefetch(&[PageId(1000)]);
+        pool.prefetch_quiesce();
+        assert_eq!(pool.stats().prefetch_loads, 0);
+        // The pool still works.
+        let g = pool.pin(PageId(0)).unwrap();
+        assert!(g.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn prefetch_is_a_noop_without_a_prefetcher() {
+        let pool = pool(4, 2, ReplacementPolicy::Clock);
+        assert!(!pool.prefetch_enabled());
+        pool.prefetch(&[PageId(0)]);
+        pool.prefetch_quiesce();
+        assert_eq!(pool.stats(), PoolStats::default());
     }
 }

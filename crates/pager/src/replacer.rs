@@ -146,30 +146,71 @@ impl Replacer for Clock {
 /// a hand sweeping old→older that spares visited pages once. Unlike clock,
 /// the hand does not wrap over freshly admitted pages mid-sweep, and hits
 /// never move objects.
+///
+/// The queue is an intrusive doubly-linked list over frame indices
+/// (`newer`/`older` neighbor arrays), so `on_admit` and eviction unlink in
+/// O(1). This matters on big pools: a 10k-frame pool admits a page on every
+/// miss *and* on every prefetch install, and a `Vec`-backed queue would pay
+/// an O(capacity) scan-and-shift on each one.
 pub struct Sieve {
-    /// Frames in insertion order, newest first.
-    order: Vec<usize>,
+    /// `newer[f]` / `older[f]`: list neighbors of frame `f`, [`Sieve::NONE`]
+    /// at the ends. Head = newest admission, tail = oldest.
+    newer: Vec<usize>,
+    older: Vec<usize>,
+    /// Whether frame `f` is currently linked into the queue.
+    linked: Vec<bool>,
     visited: Vec<bool>,
-    /// Index into `order` the hand points at (the next eviction candidate).
-    hand: Option<usize>,
+    head: usize,
+    tail: usize,
+    /// Frame the hand points at (the next eviction candidate); `NONE` means
+    /// the next sweep (re)starts at the tail.
+    hand: usize,
+    len: usize,
 }
 
 impl Sieve {
+    /// Sentinel for "no frame" in the neighbor arrays and the hand.
+    const NONE: usize = usize::MAX;
+
     /// A SIEVE over `capacity` frames.
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         Sieve {
-            order: Vec::with_capacity(capacity),
-            visited: vec![false; capacity.max(1)],
-            hand: None,
+            newer: vec![Self::NONE; capacity],
+            older: vec![Self::NONE; capacity],
+            linked: vec![false; capacity],
+            visited: vec![false; capacity],
+            head: Self::NONE,
+            tail: Self::NONE,
+            hand: Self::NONE,
+            len: 0,
         }
     }
 
-    fn step_back(&self, h: usize) -> Option<usize> {
-        if h == 0 {
-            None
-        } else {
-            Some(h - 1)
+    /// Removes `frame` from the queue. The hand, if parked on `frame`,
+    /// steps to its newer neighbor — the same frame the sweep would visit
+    /// next.
+    fn unlink(&mut self, frame: usize) {
+        if !self.linked.get(frame).copied().unwrap_or(false) {
+            return;
         }
+        let nw = self.newer.get(frame).copied().unwrap_or(Self::NONE);
+        let ol = self.older.get(frame).copied().unwrap_or(Self::NONE);
+        match self.newer.get_mut(ol) {
+            Some(slot) => *slot = nw,
+            None => self.tail = nw,
+        }
+        match self.older.get_mut(nw) {
+            Some(slot) => *slot = ol,
+            None => self.head = ol,
+        }
+        if let Some(l) = self.linked.get_mut(frame) {
+            *l = false;
+        }
+        if self.hand == frame {
+            self.hand = nw;
+        }
+        self.len -= 1;
     }
 }
 
@@ -185,54 +226,63 @@ impl Replacer for Sieve {
     }
 
     fn on_admit(&mut self, frame: usize) {
-        // New objects enter at the head unvisited.
-        self.order.retain(|&f| f != frame);
-        self.order.insert(0, frame);
+        if frame >= self.linked.len() {
+            return;
+        }
+        // New objects enter at the head unvisited. A re-admitted frame
+        // (dirty write-back failure re-registering its page) moves there.
+        self.unlink(frame);
+        if let Some(slot) = self.older.get_mut(frame) {
+            *slot = self.head;
+        }
+        if let Some(slot) = self.newer.get_mut(frame) {
+            *slot = Self::NONE;
+        }
+        match self.newer.get_mut(self.head) {
+            Some(slot) => *slot = frame,
+            None => self.tail = frame,
+        }
+        self.head = frame;
+        if let Some(l) = self.linked.get_mut(frame) {
+            *l = true;
+        }
         if let Some(bit) = self.visited.get_mut(frame) {
             *bit = false;
         }
-        // Inserting at the head shifts every index up by one.
-        if let Some(h) = self.hand {
-            self.hand = Some(h + 1);
-        }
+        self.len += 1;
     }
 
     fn on_evict(&mut self, frame: usize) {
-        if let Some(pos) = self.order.iter().position(|&f| f == frame) {
-            self.order.remove(pos);
-            if let Some(h) = self.hand {
-                if pos <= h {
-                    self.hand = self.step_back(h);
-                }
-            }
-        }
+        self.unlink(frame);
     }
 
     fn victim(&mut self, evictable: &[bool]) -> Option<usize> {
-        if self.order.is_empty() {
+        if self.len == 0 {
             return None;
         }
         // At most two passes over the queue: one clears visited bits, one
         // must find an unvisited evictable frame (if any frame is evictable).
-        for _ in 0..2 * self.order.len() + 1 {
-            let h = match self.hand {
-                Some(h) if h < self.order.len() => h,
-                _ => self.order.len() - 1, // (re)start at the tail = oldest
+        for _ in 0..2 * self.len + 1 {
+            let frame = if self.linked.get(self.hand).copied().unwrap_or(false) {
+                self.hand
+            } else {
+                self.tail // (re)start at the tail = oldest
             };
-            let &frame = self.order.get(h)?;
+            if frame == Self::NONE {
+                return None;
+            }
             if !evictable.get(frame).copied().unwrap_or(false) {
                 // Pinned or empty: skip without touching its visited bit.
-                self.hand = self.step_back(h);
+                self.hand = self.newer.get(frame).copied().unwrap_or(Self::NONE);
                 continue;
             }
             if self.visited.get(frame).copied().unwrap_or(false) {
                 if let Some(bit) = self.visited.get_mut(frame) {
                     *bit = false;
                 }
-                self.hand = self.step_back(h);
+                self.hand = self.newer.get(frame).copied().unwrap_or(Self::NONE);
             } else {
-                self.order.remove(h);
-                self.hand = self.step_back(h);
+                self.unlink(frame);
                 return Some(frame);
             }
         }

@@ -411,9 +411,11 @@ impl<'a> LineagePlanner<'a> {
                     0.0
                 };
                 // A chunked paged scan materializes every numeric column of
-                // the relation, so the rewrite pays the full footprint.
+                // the relation, so the rewrite pays the full footprint — but
+                // as one sequential sweep, which a prefetching pool serves
+                // from batched run-ahead reads at the cheaper per-page rate.
                 let (est_pages, io_cost) = self.io.as_ref().map_or((0.0, 0.0), |io| {
-                    (io.total_pages(), io.read_cost(io.total_pages()))
+                    (io.total_pages(), io.seq_read_cost(io.total_pages()))
                 });
                 CandidateCost {
                     strategy: Strategy::LazyRewrite,
@@ -449,6 +451,7 @@ impl<'a> LineagePlanner<'a> {
             est_fanout,
             dop: self.dop,
             residency: self.io.as_ref().map(|io| io.residency),
+            prefetch: self.io.as_ref().map(|io| io.prefetch),
             candidates: candidates.clone(),
         };
         Ok(LineagePlan {

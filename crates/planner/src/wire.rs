@@ -814,6 +814,7 @@ pub fn explain_to_json(explain: &Explain) -> Json {
         ("fanout", Json::Num(explain.est_fanout)),
         ("dop", Json::Int(explain.dop as i64)),
         ("residency", explain.residency.map_or(Json::Null, Json::Num)),
+        ("prefetch", explain.prefetch.map_or(Json::Null, Json::Bool)),
         (
             "candidates",
             Json::Arr(

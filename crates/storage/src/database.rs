@@ -70,7 +70,14 @@ impl Database {
             ));
         }
         let budget_pages = (budget_bytes / PAGE_SIZE).max(1);
-        let pool = Arc::new(BufferPool::new(store, budget_pages, policy));
+        // Database pools carry the background prefetcher: paged operators
+        // hint their upcoming page runs and cold scans overlap I/O.
+        let pool = Arc::new(BufferPool::with_prefetch(
+            store,
+            budget_pages,
+            policy,
+            smoke_pager::DEFAULT_PREFETCH_THREADS,
+        ));
         // Spill everything already registered.
         let resident = std::mem::take(&mut self.relations);
         for (name, relation) in resident {

@@ -47,10 +47,14 @@ pub use database::Database;
 pub use error::StorageError;
 pub use kernels::{KernelCmp, SelectionMask};
 pub use morsel::{align_morsel_rows, morsels, Morsel, DEFAULT_MORSEL_ROWS};
-pub use paged::{PagedRelation, DEFAULT_CHUNK_ROWS, ROWS_PER_PAGE};
+pub use paged::{FixedRunWriter, PagedRelation, DEFAULT_CHUNK_ROWS, ROWS_PER_PAGE};
+// `from_fixed_runs` / `FixedRunWriter::finish` speak in page ids; re-export
+// the pager vocabulary so storage's paged API is usable without a direct
+// smoke-pager dependency.
 pub use relation::{Relation, RelationBuilder, RowRef};
 pub use rid::{Rid, RidVec};
 pub use schema::{Field, Schema};
+pub use smoke_pager::{PageId, PAGE_SIZE};
 pub use value::{DataType, Value};
 
 /// Convenience result alias used across the storage crate.
